@@ -1,0 +1,329 @@
+// Package bistpath synthesizes register-transfer-level data paths with
+// low built-in self-test (BIST) area overhead. It reproduces the data
+// path allocation algorithms of Parulkar, Gupta and Breuer, "Data Path
+// Allocation for Synthesizing RTL Designs with Low BIST Area Overhead"
+// (DAC 1995).
+//
+// Given a scheduled data flow graph and a module assignment, Synthesize
+// binds variables to registers maximizing the sharing of test registers
+// between functional modules (sharing-degree-guided conflict-graph
+// coloring) while avoiding assignments that force concurrent BILBO
+// (CBILBO) registers (the paper's Lemma 2), binds the interconnect with
+// testability-weighted minimum connectivity, and then derives a minimal
+// area BIST solution (pattern generators, signature analyzers, BILBOs and
+// CBILBOs plus a test session schedule) for the resulting data path.
+package bistpath
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"bistpath/internal/area"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/dfg"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/modassign"
+	"bistpath/internal/regassign"
+	"bistpath/internal/report"
+)
+
+// Mode selects the register binding policy.
+type Mode int
+
+// Binding policies.
+const (
+	// Testable runs the paper's BIST-aware binder (the default).
+	Testable Mode = iota
+	// TraditionalHLS runs the area-only baseline binder the paper
+	// compares against in Table I.
+	TraditionalHLS
+)
+
+func (m Mode) String() string {
+	if m == TraditionalHLS {
+		return "traditional"
+	}
+	return "testable"
+}
+
+// Config controls a synthesis run. Use DefaultConfig and override fields.
+type Config struct {
+	// Width is the datapath bit width (default 8).
+	Width int
+	// Mode selects the register binder.
+	Mode Mode
+	// AllowPadTPG permits port-fed primary inputs to source test
+	// patterns directly (I-paths may start at primary inputs,
+	// Definition 1 of the paper).
+	AllowPadTPG bool
+	// MinimizeSessions breaks BIST-area ties in favor of plans with
+	// fewer test sessions (shorter test time).
+	MinimizeSessions bool
+	// Trace records a per-variable explanation of the register binder's
+	// decisions in Result.BindingTrace (testable mode only).
+	Trace bool
+	// The four mechanism toggles of the testable binder; all true
+	// reproduces the paper, individual false values support ablations.
+	Sharing              bool
+	CaseOverrides        bool
+	AvoidCBILBO          bool
+	WeightedInterconnect bool
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:                8,
+		Mode:                 Testable,
+		AllowPadTPG:          true,
+		Sharing:              true,
+		CaseOverrides:        true,
+		AvoidCBILBO:          true,
+		WeightedInterconnect: true,
+	}
+}
+
+// RegisterInfo describes one allocated register in a result.
+type RegisterInfo struct {
+	Name          string
+	Vars          []string
+	Style         string // "REG", "TPG", "SA", "TPG/SA", "CBILBO"
+	SharingDegree int
+}
+
+// ModuleInfo describes one functional module in a result.
+type ModuleInfo struct {
+	Name      string
+	Class     string
+	Ops       []string
+	Embedding string // chosen BIST embedding, human readable
+	// ForcedCBILBO reports whether every BIST embedding of this module
+	// requires a CBILBO register (Lemma 2 ground truth on the netlist).
+	ForcedCBILBO bool
+}
+
+// Result is a completed synthesis run.
+type Result struct {
+	Name      string
+	Mode      Mode
+	Width     int
+	Registers []RegisterInfo
+	Modules   []ModuleInfo
+
+	MuxCount       int // number of multiplexers in the data path
+	MuxExtraInputs int // total mux inputs beyond one per mux
+
+	BaseArea    int     // gate equivalents before BIST insertion
+	BISTArea    int     // gate equivalents after register upgrades
+	OverheadPct float64 // 100*(BISTArea-BaseArea)/BaseArea
+
+	Sessions    [][]string     // test session schedule (module names)
+	StyleCounts map[string]int // non-normal styles -> register count
+	// BindingTrace explains each register-binding decision (Config.Trace).
+	BindingTrace []string
+
+	dp   *datapath.Datapath
+	plan *bist.Plan
+}
+
+// NumBISTRegisters returns how many registers were modified for test.
+func (r *Result) NumBISTRegisters() int { return r.plan.NumBISTRegisters() }
+
+// NumRegisters returns the total register count.
+func (r *Result) NumRegisters() int { return len(r.Registers) }
+
+// NetlistText returns the data path netlist and control program.
+func (r *Result) NetlistText() string { return r.dp.Text() }
+
+// DatapathDot returns a Graphviz rendering of the data path.
+func (r *Result) DatapathDot() string {
+	var sb strings.Builder
+	r.dp.WriteDot(&sb)
+	return sb.String()
+}
+
+// Simulate runs the bound data path on concrete inputs and returns the
+// primary output values.
+func (r *Result) Simulate(inputs map[string]uint64) (map[string]uint64, error) {
+	return r.dp.Simulate(inputs)
+}
+
+// SelfCheck simulates the data path on `trials` random input vectors and
+// verifies every primary output against direct DFG evaluation.
+func (r *Result) SelfCheck(trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	g := r.dp.Graph()
+	for i := 0; i < trials; i++ {
+		in := make(map[string]uint64)
+		for _, name := range g.Inputs() {
+			in[name] = uint64(rng.Int63())
+		}
+		if err := r.dp.CheckAgainstDFG(in); err != nil {
+			return fmt.Errorf("trial %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StyleSummary renders the BIST resource mix in the Table II style, e.g.
+// "1 CBILBO, 2 TPG, 1 SA".
+func (r *Result) StyleSummary() string {
+	order := []string{"CBILBO", "TPG/SA", "TPG", "SA"}
+	var parts []string
+	for _, s := range order {
+		if n := r.StyleCounts[s]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, s))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// synthesize is the internal-type entry point shared by the public
+// wrappers, cmd tools and benchmarks.
+func synthesize(g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mb.Validate(g); err != nil {
+		return nil, err
+	}
+	var rb *regassign.Binding
+	var trace []regassign.Decision
+	var err error
+	ropts := regassign.Options{
+		SharingDegree:    cfg.Sharing,
+		CaseOverrides:    cfg.CaseOverrides,
+		AvoidCBILBO:      cfg.AvoidCBILBO,
+		InterconnectTies: cfg.WeightedInterconnect,
+	}
+	switch {
+	case cfg.Mode == TraditionalHLS:
+		rb, err = regassign.Traditional(g)
+	case cfg.Trace:
+		rb, trace, err = regassign.BindTraced(g, mb, ropts)
+	default:
+		rb, err = regassign.Bind(g, mb, ropts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sh := regassign.NewSharing(g, mb)
+	var shw *regassign.Sharing
+	if cfg.WeightedInterconnect {
+		shw = sh
+	}
+	ib, err := interconnect.Bind(g, mb, rb, shw)
+	if err != nil {
+		return nil, err
+	}
+	dp, err := datapath.Build(g, mb, rb, ib, cfg.Width)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := bist.Optimize(dp, bist.Options{
+		Model:            area.Default(cfg.Width),
+		AllowPadHeads:    cfg.AllowPadTPG,
+		MinimizeSessions: cfg.MinimizeSessions,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := assemble(g, mb, rb, dp, plan, sh, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range trace {
+		res.BindingTrace = append(res.BindingTrace, d.Note)
+	}
+	return res, nil
+}
+
+func assemble(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding,
+	dp *datapath.Datapath, plan *bist.Plan, sh *regassign.Sharing, cfg Config) (*Result, error) {
+
+	model := area.Default(cfg.Width)
+	res := &Result{
+		Name:        g.Name,
+		Mode:        cfg.Mode,
+		Width:       cfg.Width,
+		StyleCounts: make(map[string]int),
+		dp:          dp,
+		plan:        plan,
+	}
+	for _, r := range rb.Registers {
+		style := area.Normal
+		if s, ok := plan.Styles[r.Name]; ok {
+			style = s
+		}
+		res.Registers = append(res.Registers, RegisterInfo{
+			Name:          r.Name,
+			Vars:          append([]string(nil), r.Vars...),
+			Style:         style.String(),
+			SharingDegree: sh.SDReg(r.Vars),
+		})
+	}
+	for _, m := range mb.Modules {
+		res.Modules = append(res.Modules, ModuleInfo{
+			Name:         m.Name,
+			Class:        m.Class.Name,
+			Ops:          append([]string(nil), m.Ops...),
+			Embedding:    plan.Embeddings[m.Name].String(),
+			ForcedCBILBO: bist.ForcedCBILBOByEnumeration(dp, m.Name, cfg.AllowPadTPG),
+		})
+	}
+	res.MuxCount, res.MuxExtraInputs = dp.MuxStats()
+
+	base := 0
+	for _, m := range dp.Modules {
+		base += model.ModuleArea(m.Kinds)
+	}
+	base += len(dp.Regs) * model.RegisterArea(area.Normal)
+	for _, m := range dp.Modules {
+		base += model.MuxArea(len(m.Left)) + model.MuxArea(len(m.Right))
+	}
+	for _, r := range dp.Regs {
+		base += model.MuxArea(len(r.Sources))
+	}
+	res.BaseArea = base
+	res.BISTArea = base + plan.ExtraArea
+	res.OverheadPct = area.Overhead(base, res.BISTArea)
+
+	for _, s := range plan.Styles {
+		if s != area.Normal {
+			res.StyleCounts[s.String()]++
+		}
+	}
+	res.Sessions = plan.Sessions
+	sort.Slice(res.Sessions, func(i, j int) bool {
+		return res.Sessions[i][0] < res.Sessions[j][0]
+	})
+	return res, nil
+}
+
+// TestCycles estimates the BIST test time in clock cycles for the given
+// per-mode pattern budget: one seed scan-in of the register chain per
+// session plus one clock per pattern per module operation mode.
+func (r *Result) TestCycles(patterns int) int {
+	modes := 0
+	for _, m := range r.dp.Modules {
+		modes += len(m.Kinds)
+	}
+	seedIn := len(r.dp.Regs) * r.Width
+	return len(r.plan.Sessions)*seedIn + modes*patterns
+}
+
+// OccupancyChart renders an ASCII chart of register occupancy and module
+// activity per control step (which variable each register holds, which
+// operation each module executes).
+func (r *Result) OccupancyChart() (string, error) {
+	return report.Gantt(r.dp)
+}

@@ -1,0 +1,423 @@
+// Command bistpath synthesizes low-BIST-overhead RTL data paths from
+// scheduled data flow graphs (Parulkar/Gupta/Breuer, DAC'95).
+//
+// Usage:
+//
+//	bistpath synth   -bench ex1 | -dfg file.dfg [-mode testable|traditional] [-width 8] [-netlist] [-dot]
+//	bistpath sim     -bench ex1 | -dfg file.dfg -inputs a=1,b=2,...
+//	bistpath cover   -bench ex1 | -dfg file.dfg [-patterns 255]
+//	bistpath list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bistpath"
+	"bistpath/internal/dfg"
+	"bistpath/internal/sched"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "cover":
+		err = cmdCover(os.Args[2:])
+	case "emit":
+		err = cmdEmit(os.Args[2:])
+	case "gatesim":
+		err = cmdGatesim(os.Args[2:])
+	case "schedule":
+		err = cmdSchedule(os.Args[2:])
+	case "list":
+		for _, n := range bistpath.BenchmarkNames() {
+			fmt.Println(n)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bistpath:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bistpath synth -bench <name> | -dfg <file> [-mode testable|traditional] [-width N] [-netlist] [-dot]
+  bistpath sim   -bench <name> | -dfg <file> -inputs a=1,b=2,...
+  bistpath cover -bench <name> | -dfg <file> [-patterns N] [-width N]
+  bistpath emit  -bench <name> | -dfg <file> [-format rtl|gates] [-module NAME]
+  bistpath gatesim -bench <name> | -dfg <file> [-patterns N]
+  bistpath schedule -dfg <file> [-latency N]   (compare ASAP/ALAP/list/force-directed)
+  bistpath list`)
+}
+
+// loadDesign resolves -bench/-dfg flags into a DFG and module map (nil
+// map = automatic module binding).
+func loadDesign(bench, dfgFile string) (*bistpath.DFG, map[string]string, error) {
+	switch {
+	case bench != "" && dfgFile != "":
+		return nil, nil, fmt.Errorf("use either -bench or -dfg, not both")
+	case bench != "":
+		return bistpath.Benchmark(bench)
+	case dfgFile != "":
+		data, err := os.ReadFile(dfgFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := bistpath.ParseDFG(string(data))
+		return d, nil, err
+	default:
+		return nil, nil, fmt.Errorf("need -bench <name> or -dfg <file>")
+	}
+}
+
+func synthesize(d *bistpath.DFG, mods map[string]string, cfg bistpath.Config) (*bistpath.Result, error) {
+	if mods != nil {
+		return d.Synthesize(mods, cfg)
+	}
+	return d.SynthesizeAuto(cfg)
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	mode := fs.String("mode", "testable", "testable or traditional")
+	width := fs.Int("width", 8, "datapath bit width")
+	netlist := fs.Bool("netlist", false, "print the netlist and control program")
+	dot := fs.Bool("dot", false, "print a Graphviz rendering of the data path")
+	traceFlag := fs.Bool("trace", false, "explain every register-binding decision")
+	gantt := fs.Bool("gantt", false, "print the register/module occupancy chart")
+	fs.Parse(args)
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	switch *mode {
+	case "testable":
+	case "traditional":
+		cfg.Mode = bistpath.TraditionalHLS
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	cfg.Trace = *traceFlag
+	res, err := synthesize(d, mods, cfg)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	if *traceFlag {
+		fmt.Println("  binding decisions:")
+		for i, note := range res.BindingTrace {
+			fmt.Printf("    %2d. %s\n", i+1, note)
+		}
+	}
+	if *gantt {
+		chart, err := res.OccupancyChart()
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(chart)
+	}
+	if *netlist {
+		fmt.Println()
+		fmt.Print(res.NetlistText())
+	}
+	if *dot {
+		fmt.Println()
+		fmt.Print(res.DatapathDot())
+	}
+	return nil
+}
+
+func printResult(res *bistpath.Result) {
+	fmt.Printf("design %s (%s mode, width %d)\n", res.Name, res.Mode, res.Width)
+	fmt.Printf("  registers: %d   muxes: %d   base area: %d   BIST area: %d   overhead: %.2f%%\n",
+		res.NumRegisters(), res.MuxCount, res.BaseArea, res.BISTArea, res.OverheadPct)
+	fmt.Printf("  BIST resources: %s\n", res.StyleSummary())
+	for _, r := range res.Registers {
+		fmt.Printf("    %-4s %-7s SD=%d  {%s}\n", r.Name, r.Style, r.SharingDegree, strings.Join(r.Vars, ","))
+	}
+	for _, m := range res.Modules {
+		forced := ""
+		if m.ForcedCBILBO {
+			forced = "  [forced CBILBO]"
+		}
+		fmt.Printf("    %-4s %-4s ops={%s}  %s%s\n", m.Name, m.Class, strings.Join(m.Ops, ","), m.Embedding, forced)
+	}
+	fmt.Printf("  test sessions: %d\n", len(res.Sessions))
+	for i, s := range res.Sessions {
+		fmt.Printf("    session %d: %s\n", i+1, strings.Join(s, ", "))
+	}
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	width := fs.Int("width", 8, "datapath bit width")
+	inputs := fs.String("inputs", "", "comma-separated name=value input assignments")
+	vcdPath := fs.String("vcd", "", "write a gate-level VCD waveform of the run to this file")
+	fs.Parse(args)
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	res, err := synthesize(d, mods, cfg)
+	if err != nil {
+		return err
+	}
+	in := make(map[string]uint64)
+	if *inputs != "" {
+		for _, kv := range strings.Split(*inputs, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad input assignment %q", kv)
+			}
+			v, err := strconv.ParseUint(parts[1], 0, 64)
+			if err != nil {
+				return fmt.Errorf("bad value in %q: %v", kv, err)
+			}
+			in[parts[0]] = v
+		}
+	}
+	var out map[string]uint64
+	if *vcdPath != "" {
+		f, err := os.Create(*vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out, err = res.DumpVCD(in, f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *vcdPath)
+	} else {
+		var err error
+		out, err = res.Simulate(in)
+		if err != nil {
+			return err
+		}
+	}
+	var names []string
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%s = %d\n", n, out[n])
+	}
+	return nil
+}
+
+func cmdCover(args []string) error {
+	fs := flag.NewFlagSet("cover", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	width := fs.Int("width", 8, "datapath bit width")
+	patterns := fs.Int("patterns", 255, "pseudo-random patterns per session")
+	fs.Parse(args)
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	res, err := synthesize(d, mods, cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := res.FaultCoverage(*patterns, 0xB157)
+	if err != nil {
+		return err
+	}
+	for _, mc := range rep.PerModule {
+		fmt.Printf("%-6s %4d/%4d faults detected (%.2f%%)\n", mc.Module, mc.Detected, mc.Faults, mc.Pct())
+	}
+	f, det := rep.Totals()
+	fmt.Printf("total  %4d/%4d (%.2f%%) with %d patterns\n", det, f, rep.Pct(), rep.Patterns)
+	return nil
+}
+
+func cmdEmit(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	width := fs.Int("width", 8, "datapath bit width")
+	format := fs.String("format", "rtl", "rtl (behavioral), gates (structural, with BIST registers) or tb (self-checking testbench; needs -inputs)")
+	module := fs.String("module", "", "Verilog module name (gates format)")
+	controller := fs.Bool("controller", false, "gates format: generate the on-chip microcode controller (self-timed netlist)")
+	inputs := fs.String("inputs", "", "tb format: comma-separated name=value input assignments")
+	fs.Parse(args)
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	res, err := synthesize(d, mods, cfg)
+	if err != nil {
+		return err
+	}
+	switch *format {
+	case "rtl":
+		fmt.Print(res.VerilogRTL())
+	case "tb":
+		in := make(map[string]uint64)
+		if *inputs != "" {
+			for _, kv := range strings.Split(*inputs, ",") {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return fmt.Errorf("bad input assignment %q", kv)
+				}
+				v, err := strconv.ParseUint(parts[1], 0, 64)
+				if err != nil {
+					return err
+				}
+				in[parts[0]] = v
+			}
+		}
+		tb, err := res.VerilogTestbench(in)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.VerilogRTL())
+		fmt.Println()
+		fmt.Print(tb)
+	case "gates":
+		name := *module
+		if name == "" {
+			name = res.Name + "_bist"
+		}
+		var v string
+		if *controller {
+			v, err = res.VerilogGatesSelfTimed(name)
+		} else {
+			v, err = res.VerilogGates(name)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Print(v)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	return nil
+}
+
+func cmdGatesim(args []string) error {
+	fs := flag.NewFlagSet("gatesim", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	width := fs.Int("width", 8, "datapath bit width")
+	patterns := fs.Int("patterns", 250, "pseudo-random patterns per module test")
+	fs.Parse(args)
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	res, err := synthesize(d, mods, cfg)
+	if err != nil {
+		return err
+	}
+	rep, err := res.GateLevel(*patterns, 0xB157)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gate-level design: %d gates, %d flip-flops\n", rep.TotalGates, rep.DFFs)
+	fmt.Printf("  functional %d, port muxes %d, register muxes %d, register cells %d\n",
+		rep.Functional, rep.PortMuxes, rep.RegMuxes, rep.RegCells)
+	for _, mc := range rep.PerModule {
+		fmt.Printf("  %-6s %4d/%4d gate faults detected (%.1f%%)\n", mc.Module, mc.Detected, mc.Faults, mc.Pct())
+	}
+	f, det := rep.Totals()
+	fmt.Printf("  total  %4d/%4d (%.1f%%) with %d patterns per session\n", det, f, rep.Pct(), rep.Patterns)
+	return nil
+}
+
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	latency := fs.Int("latency", 0, "latency bound for ALAP/force-directed (default: critical path)")
+	fs.Parse(args)
+
+	d, _, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
+	// Work on the internal graph via the text round trip, unscheduled.
+	g, err := dfg.ParseString(d.Text())
+	if err != nil {
+		return err
+	}
+	for _, o := range g.Ops() {
+		o.Step = 0
+	}
+	asap, err := sched.ASAP(g)
+	if err != nil {
+		return err
+	}
+	cp := sched.Length(asap)
+	lat := *latency
+	if lat < cp {
+		lat = cp
+	}
+	alap, err := sched.ALAP(g, lat)
+	if err != nil {
+		return err
+	}
+	list, err := sched.ListSchedule(g, nil)
+	if err != nil {
+		return err
+	}
+	fds, err := sched.ForceDirected(g, lat)
+	if err != nil {
+		return err
+	}
+	show := func(name string, steps map[string]int) {
+		peak := sched.PeakUsage(g, steps)
+		var kinds []string
+		for k, n := range peak {
+			kinds = append(kinds, fmt.Sprintf("%s:%d", k, n))
+		}
+		sort.Strings(kinds)
+		fmt.Printf("%-15s latency=%d  peak modules: %s\n", name, sched.Length(steps), strings.Join(kinds, " "))
+	}
+	fmt.Printf("critical path %d steps, bound %d\n", cp, lat)
+	show("ASAP", asap)
+	show("ALAP", alap)
+	show("list (greedy)", list)
+	show("force-directed", fds)
+	return nil
+}

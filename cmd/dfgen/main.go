@@ -1,0 +1,47 @@
+// Command dfgen generates random scheduled data flow graphs in the
+// textual format accepted by `bistpath synth -dfg`. The same seed always
+// yields the same graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bistpath/internal/benchdata"
+	"bistpath/internal/dfg"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	steps := flag.Int("steps", 5, "control steps")
+	ops := flag.Int("ops", 3, "maximum operations per step")
+	inputs := flag.Int("inputs", 4, "primary inputs")
+	kinds := flag.String("kinds", "+-*&", "operation kinds to draw from")
+	flag.Parse()
+
+	var ks []dfg.Kind
+	for _, r := range *kinds {
+		k := dfg.Kind(string(r))
+		if !k.Valid() {
+			fmt.Fprintf(os.Stderr, "dfgen: invalid kind %q\n", string(r))
+			os.Exit(2)
+		}
+		ks = append(ks, k)
+	}
+	g, err := benchdata.Random(benchdata.RandomConfig{
+		Seed:       *seed,
+		Steps:      *steps,
+		OpsPerStep: *ops,
+		Inputs:     *inputs,
+		Kinds:      ks,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dfgen:", err)
+		os.Exit(1)
+	}
+	if err := g.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dfgen:", err)
+		os.Exit(1)
+	}
+}

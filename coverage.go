@@ -1,0 +1,61 @@
+package bistpath
+
+import "bistpath/internal/bistgen"
+
+// ModuleCoverage is the stuck-at fault coverage one module achieves
+// under its BIST embedding.
+type ModuleCoverage struct {
+	Module   string
+	Faults   int
+	Detected int
+}
+
+// Pct returns the module's coverage percentage.
+func (mc ModuleCoverage) Pct() float64 {
+	if mc.Faults == 0 {
+		return 100
+	}
+	return float64(mc.Detected) / float64(mc.Faults) * 100
+}
+
+// CoverageReport summarizes a pseudo-random BIST run over all modules.
+type CoverageReport struct {
+	Patterns  int
+	PerModule []ModuleCoverage
+}
+
+// Totals sums faults and detections over all modules.
+func (r *CoverageReport) Totals() (faults, detected int) {
+	for _, mc := range r.PerModule {
+		faults += mc.Faults
+		detected += mc.Detected
+	}
+	return
+}
+
+// Pct returns the overall coverage percentage.
+func (r *CoverageReport) Pct() float64 {
+	f, d := r.Totals()
+	if f == 0 {
+		return 100
+	}
+	return float64(d) / float64(f) * 100
+}
+
+// FaultCoverage executes the synthesized BIST plan behaviorally: each
+// module is driven with pseudo-random patterns from its embedding's
+// generators while its signature register compacts the responses, and
+// every single stuck-at fault on the module's ports is graded against
+// the fault-free signature. High coverage demonstrates that the
+// allocated test resources actually test the data path.
+func (r *Result) FaultCoverage(patterns int, seed uint64) (*CoverageReport, error) {
+	rep, err := bistgen.Coverage(r.dp, r.plan, patterns, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &CoverageReport{Patterns: rep.Patterns}
+	for _, mc := range rep.PerModule {
+		out.PerModule = append(out.PerModule, ModuleCoverage{Module: mc.Module, Faults: mc.Faults, Detected: mc.Detected})
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package bistpath
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bistpath/internal/elab"
+	"bistpath/internal/verilog"
+)
+
+// GateModuleCoverage is the gate-level stuck-at coverage of one module
+// under the synthesized BIST plan, alongside the COP-predicted coverage
+// and the number of random-pattern-resistant faults the prediction
+// flagged in advance.
+type GateModuleCoverage struct {
+	Module     string
+	Faults     int
+	Detected   int
+	Predicted  float64 // COP expected coverage (%), computed before simulation
+	HardFaults int     // faults with single-pattern detection probability < 1/patterns
+}
+
+// Pct returns the coverage percentage.
+func (g GateModuleCoverage) Pct() float64 {
+	if g.Faults == 0 {
+		return 100
+	}
+	return float64(g.Detected) / float64(g.Faults) * 100
+}
+
+// GateLevelReport is the result of elaborating a synthesis result to
+// gates and fault-simulating its BIST plan.
+type GateLevelReport struct {
+	TotalGates int
+	DFFs       int
+	Functional int // gates in functional units
+	PortMuxes  int // gates in module port multiplexers
+	RegMuxes   int // gates in register input multiplexers
+	RegCells   int // gates in register/BIST cells
+	Patterns   int
+	PerModule  []GateModuleCoverage
+}
+
+// Totals sums faults and detections.
+func (g *GateLevelReport) Totals() (faults, detected int) {
+	for _, m := range g.PerModule {
+		faults += m.Faults
+		detected += m.Detected
+	}
+	return
+}
+
+// Pct returns the overall gate-level coverage percentage.
+func (g *GateLevelReport) Pct() float64 {
+	f, d := g.Totals()
+	if f == 0 {
+		return 100
+	}
+	return float64(d) / float64(f) * 100
+}
+
+// GateLevel elaborates the synthesized data path (with its BIST plan)
+// into a gate-level netlist, verifies gate-level functional equivalence
+// against the behavioral model on random vectors, and fault-simulates
+// each module's BIST session: every stuck-at fault on the module's gates
+// is graded against the fault-free signature.
+func (r *Result) GateLevel(patterns int, seed uint64) (*GateLevelReport, error) {
+	d, err := elab.Build(r.dp, r.plan)
+	if err != nil {
+		return nil, err
+	}
+	// Equivalence spot-check before trusting coverage numbers.
+	rng := rand.New(rand.NewSource(int64(seed)))
+	g := r.dp.Graph()
+	for i := 0; i < 3; i++ {
+		in := make(map[string]uint64)
+		for _, name := range g.Inputs() {
+			in[name] = uint64(rng.Int63())
+		}
+		if err := d.CheckAgainstDFG(in); err != nil {
+			return nil, fmt.Errorf("gate-level equivalence failed: %w", err)
+		}
+	}
+	ar := d.MeasureArea()
+	rep := &GateLevelReport{
+		TotalGates: ar.TotalGates,
+		DFFs:       ar.DFFs,
+		Functional: ar.Functional,
+		PortMuxes:  ar.PortMuxes,
+		RegMuxes:   ar.RegMuxes,
+		RegCells:   ar.RegCells,
+		Patterns:   patterns,
+	}
+	for _, m := range r.dp.Modules {
+		predicted, hard, err := d.PredictCoverage(m.Name, patterns)
+		if err != nil {
+			return nil, err
+		}
+		faults, detected, err := d.GateCoverage(m.Name, patterns, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.PerModule = append(rep.PerModule, GateModuleCoverage{
+			Module: m.Name, Faults: faults, Detected: detected,
+			Predicted: predicted, HardFaults: len(hard),
+		})
+	}
+	return rep, nil
+}
+
+// VerilogRTL emits behavioral Verilog for the bound data path (one reg
+// per allocated register, a case-per-step control block).
+func (r *Result) VerilogRTL() string {
+	return verilog.RTL(r.dp)
+}
+
+// VerilogGates elaborates the design (including its BIST registers) to
+// gates and emits a structural Verilog module.
+func (r *Result) VerilogGates(moduleName string) (string, error) {
+	d, err := elab.Build(r.dp, r.plan)
+	if err != nil {
+		return "", err
+	}
+	return verilog.Gates(d.Net, moduleName), nil
+}
+
+// VerilogGatesSelfTimed elaborates the design with an on-chip microcode
+// controller (step counter + decoded control signals) and emits a
+// structural Verilog module that executes its schedule autonomously: the
+// only inputs are the clock, the data pads and — when a BIST plan is
+// present — the test mode pins.
+func (r *Result) VerilogGatesSelfTimed(moduleName string) (string, error) {
+	d, err := elab.BuildWithOptions(r.dp, r.plan, elab.BuildOptions{Controller: true})
+	if err != nil {
+		return "", err
+	}
+	return verilog.Gates(d.Net, moduleName), nil
+}
+
+// DumpVCD elaborates the design to gates, runs the schedule on the given
+// inputs, and writes a VCD waveform of every named bus (registers,
+// module outputs, pads, control signals) to w. The returned map holds
+// the primary output values, which match Simulate's.
+func (r *Result) DumpVCD(inputs map[string]uint64, w io.Writer) (map[string]uint64, error) {
+	d, err := elab.Build(r.dp, r.plan)
+	if err != nil {
+		return nil, err
+	}
+	return d.RunNormalVCD(inputs, w)
+}
+
+// VerilogTestbench emits a self-checking Verilog testbench for the
+// behavioral RTL module (VerilogRTL): the given inputs are driven, every
+// primary output is sampled at the step that produces it, and the
+// expected values — computed from the behavioral model — are checked
+// with $display PASS/FAIL.
+func (r *Result) VerilogTestbench(inputs map[string]uint64) (string, error) {
+	expected, err := r.dp.Graph().Eval(inputs, r.Width)
+	if err != nil {
+		return "", err
+	}
+	return verilog.Testbench(r.dp, inputs, expected)
+}

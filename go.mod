@@ -1,0 +1,3 @@
+module bistpath
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package area provides the gate-equivalent cost model used to score
+// data paths and BIST solutions. The USC BIST register library the paper
+// used is unpublished; this model is calibrated to the same relative
+// ordering (normal < TPG ≈ SA < BILBO ≪ CBILBO ≈ 2×BILBO, multipliers
+// dominate functional area) so that the percentage comparisons of
+// Table I keep their shape. All costs are in gate equivalents.
+package area
+
+import (
+	"fmt"
+
+	"bistpath/internal/dfg"
+)
+
+// Style is the BIST capability of a register.
+type Style int
+
+// Register styles, in increasing capability.
+const (
+	Normal Style = iota // plain register
+	TPG                 // test pattern generator (LFSR mode)
+	SA                  // signature analyzer (MISR mode)
+	BILBO               // TPG and SA in different test sessions ("TPG/SA")
+	CBILBO              // concurrent TPG+SA for the same module
+)
+
+func (s Style) String() string {
+	switch s {
+	case Normal:
+		return "REG"
+	case TPG:
+		return "TPG"
+	case SA:
+		return "SA"
+	case BILBO:
+		return "TPG/SA"
+	case CBILBO:
+		return "CBILBO"
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// Model holds per-bit gate-equivalent costs.
+type Model struct {
+	Width int
+
+	RegBit    int // plain D-register
+	TPGBit    int // LFSR cell: FF + XOR + mode mux
+	SABit     int // MISR cell
+	BILBOBit  int // combined TPG/SA cell
+	CBILBOBit int // concurrent BILBO: two FF ranks
+
+	MuxBitPerInput int // per extra mux input per bit
+
+	AddBit     int // ripple adder
+	SubBit     int
+	CmpBit     int // magnitude comparator
+	LogicBit   int // and/or/xor
+	MulBitSq   int // array multiplier: MulBitSq * width per bit
+	DivBitSq   int
+	ALUModeBit int // premium per extra supported kind on one module
+}
+
+// Default returns the calibrated model for the given datapath width.
+func Default(width int) Model {
+	return Model{
+		Width:          width,
+		RegBit:         6,
+		TPGBit:         10,
+		SABit:          10,
+		BILBOBit:       12,
+		CBILBOBit:      24,
+		MuxBitPerInput: 3,
+		AddBit:         9,
+		SubBit:         10,
+		CmpBit:         5,
+		LogicBit:       2,
+		MulBitSq:       9,
+		DivBitSq:       12,
+		ALUModeBit:     2,
+	}
+}
+
+// RegisterArea returns the area of one register in the given style.
+func (m Model) RegisterArea(s Style) int {
+	per := m.RegBit
+	switch s {
+	case TPG:
+		per = m.TPGBit
+	case SA:
+		per = m.SABit
+	case BILBO:
+		per = m.BILBOBit
+	case CBILBO:
+		per = m.CBILBOBit
+	}
+	return per * m.Width
+}
+
+// StyleExtra returns the area added by upgrading a plain register to the
+// given style.
+func (m Model) StyleExtra(s Style) int {
+	return m.RegisterArea(s) - m.RegisterArea(Normal)
+}
+
+// MuxArea returns the area of an n-input multiplexer (0 for n < 2).
+func (m Model) MuxArea(inputs int) int {
+	if inputs < 2 {
+		return 0
+	}
+	return (inputs - 1) * m.MuxBitPerInput * m.Width
+}
+
+// kindArea returns the functional area of a single-kind unit.
+func (m Model) kindArea(k dfg.Kind) int {
+	switch k {
+	case dfg.Add:
+		return m.AddBit * m.Width
+	case dfg.Sub:
+		return m.SubBit * m.Width
+	case dfg.Mul:
+		return m.MulBitSq * m.Width * m.Width
+	case dfg.Div:
+		return m.DivBitSq * m.Width * m.Width
+	case dfg.And, dfg.Or, dfg.Xor:
+		return m.LogicBit * m.Width
+	case dfg.Lt, dfg.Gt:
+		return m.CmpBit * m.Width
+	}
+	return 0
+}
+
+// ModuleArea returns the area of a module executing the given kinds: the
+// largest constituent unit plus a mode premium per extra kind.
+func (m Model) ModuleArea(kinds []dfg.Kind) int {
+	max := 0
+	for _, k := range kinds {
+		if a := m.kindArea(k); a > max {
+			max = a
+		}
+	}
+	if len(kinds) > 1 {
+		max += (len(kinds) - 1) * m.ALUModeBit * m.Width
+	}
+	return max
+}
+
+// Overhead returns the percentage increase of total over base.
+func Overhead(base, total int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(total-base) / float64(base) * 100
+}

@@ -1,0 +1,116 @@
+package area
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+)
+
+func TestStyleOrdering(t *testing.T) {
+	m := Default(8)
+	// Normal < TPG = SA < BILBO < CBILBO, the paper's cost ordering.
+	if !(m.RegisterArea(Normal) < m.RegisterArea(TPG)) {
+		t.Error("TPG not costlier than a plain register")
+	}
+	if m.RegisterArea(TPG) != m.RegisterArea(SA) {
+		t.Error("TPG and SA should cost the same")
+	}
+	if !(m.RegisterArea(SA) < m.RegisterArea(BILBO)) {
+		t.Error("BILBO not costlier than SA")
+	}
+	if !(m.RegisterArea(BILBO) < m.RegisterArea(CBILBO)) {
+		t.Error("CBILBO not costlier than BILBO")
+	}
+	// "A CBILBO register has an area approximately twice that of a
+	// [BILBO] register".
+	if m.RegisterArea(CBILBO) != 2*m.RegisterArea(BILBO) {
+		t.Errorf("CBILBO %d != 2x BILBO %d", m.RegisterArea(CBILBO), m.RegisterArea(BILBO))
+	}
+}
+
+func TestStyleExtra(t *testing.T) {
+	m := Default(8)
+	if m.StyleExtra(Normal) != 0 {
+		t.Error("plain register should add nothing")
+	}
+	if m.StyleExtra(TPG) != m.RegisterArea(TPG)-m.RegisterArea(Normal) {
+		t.Error("StyleExtra inconsistent")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	want := map[Style]string{Normal: "REG", TPG: "TPG", SA: "SA", BILBO: "TPG/SA", CBILBO: "CBILBO"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+	if Style(99).String() == "" {
+		t.Error("unknown style should still print")
+	}
+}
+
+func TestMuxArea(t *testing.T) {
+	m := Default(8)
+	if m.MuxArea(0) != 0 || m.MuxArea(1) != 0 {
+		t.Error("degenerate muxes must be free")
+	}
+	if m.MuxArea(2) <= 0 {
+		t.Error("2-input mux must cost area")
+	}
+	if m.MuxArea(4) != 3*m.MuxArea(2) {
+		t.Error("mux area should scale with extra inputs")
+	}
+}
+
+func TestModuleArea(t *testing.T) {
+	m := Default(8)
+	mul := m.ModuleArea([]dfg.Kind{dfg.Mul})
+	add := m.ModuleArea([]dfg.Kind{dfg.Add})
+	if mul <= add {
+		t.Error("multiplier must dominate adder")
+	}
+	// ALU = max constituent + mode premium.
+	alu := m.ModuleArea([]dfg.Kind{dfg.Add, dfg.Sub, dfg.Or})
+	sub := m.ModuleArea([]dfg.Kind{dfg.Sub})
+	if alu <= sub {
+		t.Error("ALU must cost more than its largest unit")
+	}
+	if alu >= sub+3*add {
+		t.Error("ALU premium implausibly high")
+	}
+	if m.ModuleArea(nil) != 0 {
+		t.Error("empty module should be free")
+	}
+}
+
+func TestWidthScaling(t *testing.T) {
+	a8, a16 := Default(8), Default(16)
+	if a16.RegisterArea(Normal) != 2*a8.RegisterArea(Normal) {
+		t.Error("register area should be linear in width")
+	}
+	// Multiplier is quadratic in width.
+	m8 := a8.ModuleArea([]dfg.Kind{dfg.Mul})
+	m16 := a16.ModuleArea([]dfg.Kind{dfg.Mul})
+	if m16 != 4*m8 {
+		t.Errorf("multiplier scaling: %d vs %d (want 4x)", m16, m8)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(100, 118); got != 18.0 {
+		t.Errorf("Overhead = %v, want 18", got)
+	}
+	if got := Overhead(0, 50); got != 0 {
+		t.Errorf("Overhead with zero base = %v, want 0", got)
+	}
+}
+
+func TestAllKindsHaveArea(t *testing.T) {
+	m := Default(8)
+	for _, k := range []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Div, dfg.And, dfg.Or, dfg.Xor, dfg.Lt, dfg.Gt} {
+		if m.ModuleArea([]dfg.Kind{k}) <= 0 {
+			t.Errorf("kind %s has no area", k)
+		}
+	}
+}

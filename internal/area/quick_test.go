@@ -1,0 +1,64 @@
+package area
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bistpath/internal/dfg"
+)
+
+// Register area is monotone in capability and linear in width; mux area
+// is monotone in fan-in.
+func TestAreaMonotoneQuick(t *testing.T) {
+	prop := func(ww uint8, n uint8) bool {
+		w := int(ww%32) + 1
+		m := Default(w)
+		styles := []Style{Normal, TPG, BILBO, CBILBO}
+		for i := 1; i < len(styles); i++ {
+			if m.RegisterArea(styles[i]) <= m.RegisterArea(styles[i-1]) {
+				return false
+			}
+		}
+		if m.RegisterArea(SA) != m.RegisterArea(TPG) {
+			return false
+		}
+		fanin := int(n % 12)
+		if m.MuxArea(fanin+1) < m.MuxArea(fanin) {
+			return false
+		}
+		// Linearity in width.
+		m2 := Default(2 * w)
+		return m2.RegisterArea(CBILBO) == 2*m.RegisterArea(CBILBO)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Module area dominates its largest constituent unit.
+func TestALUDominanceQuick(t *testing.T) {
+	kinds := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Div, dfg.And, dfg.Or, dfg.Lt}
+	prop := func(sel uint8, ww uint8) bool {
+		w := int(ww%16) + 2
+		m := Default(w)
+		var ks []dfg.Kind
+		for i, k := range kinds {
+			if sel&(1<<uint(i)) != 0 {
+				ks = append(ks, k)
+			}
+		}
+		if len(ks) == 0 {
+			return true
+		}
+		alu := m.ModuleArea(ks)
+		for _, k := range ks {
+			if alu < m.ModuleArea([]dfg.Kind{k}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package benchdata defines the scheduled DFGs and module assignments of
+// the paper's five evaluation benchmarks (Table I) plus a random
+// scheduled-DFG generator used by sweeps and property tests.
+//
+// The paper does not publish machine-readable benchmark netlists; the
+// graphs here are reconstructions (documented in DESIGN.md §3): ex1
+// matches the structural facts given for Fig. 2 (8 variables a..h, ops
+// +1,+2,*1,*2, I_M1={a,b,c,d}, O_M1={d,f}, 3 registers minimum); ex2
+// realizes the "1/, 2*, 2+, 1&" module inventory from Papachristou's
+// DAC'91 example; Tseng1/Tseng2 realize the two module assignments of the
+// Tseng benchmark; Paulin is the standard HAL differential-equation
+// solver with the literal 3 and the parameters dx, a wired as port
+// inputs, giving the paper's 4-register minimum.
+package benchdata
+
+import (
+	"fmt"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+)
+
+// Benchmark couples a scheduled DFG with its fixed module assignment.
+type Benchmark struct {
+	Name     string
+	Graph    *dfg.Graph
+	OpModule map[string]string // op name -> module name
+	// ModuleInventory is the human-readable module list as printed in
+	// Table I, e.g. "1+, 1*".
+	ModuleInventory string
+	// PaperRegisters is the register count the paper reports (Table I).
+	PaperRegisters int
+}
+
+// Modules builds the module binding for the benchmark.
+func (b *Benchmark) Modules() (*modassign.Binding, error) {
+	return modassign.FromMap(b.Graph, b.OpModule)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("benchdata: %v", err))
+	}
+}
+
+// Ex1 is the paper's running example (Fig. 2): two adds on module M1, two
+// multiplies on module M2, eight variables a..h, three registers minimum.
+func Ex1() *Benchmark {
+	g := dfg.New("ex1")
+	must(g.AddInput("a", "b", "e", "g"))
+	must(g.AddOp("add1", dfg.Add, 1, "d", "a", "b"))
+	must(g.AddOp("mul1", dfg.Mul, 2, "c", "e", "g"))
+	must(g.AddOp("add2", dfg.Add, 3, "f", "c", "d"))
+	must(g.AddOp("mul2", dfg.Mul, 4, "h", "f", "g"))
+	must(g.MarkOutput("h"))
+	must(g.Validate())
+	return &Benchmark{
+		Name:  "ex1",
+		Graph: g,
+		OpModule: map[string]string{
+			"add1": "M1", "add2": "M1",
+			"mul1": "M2", "mul2": "M2",
+		},
+		ModuleInventory: "1+, 1*",
+		PaperRegisters:  3,
+	}
+}
+
+// Ex2 realizes the "1/, 2*, 2+, 1&" module inventory of the DFG taken
+// from Papachristou et al. (DAC'91): five registers minimum.
+func Ex2() *Benchmark {
+	g := dfg.New("ex2")
+	must(g.AddInput("a", "b", "c", "d", "e"))
+	must(g.AddOp("mul1", dfg.Mul, 1, "v1", "a", "b"))
+	must(g.AddOp("mul2", dfg.Mul, 1, "v2", "c", "d"))
+	must(g.AddOp("add1", dfg.Add, 2, "v3", "v1", "v2"))
+	must(g.AddOp("add2", dfg.Add, 2, "v4", "a", "e"))
+	must(g.AddOp("div1", dfg.Div, 3, "v5", "v3", "v4"))
+	must(g.AddOp("mul3", dfg.Mul, 3, "v6", "v2", "b"))
+	must(g.AddOp("and1", dfg.And, 4, "v7", "v5", "v6"))
+	must(g.MarkOutput("v7"))
+	must(g.Validate())
+	return &Benchmark{
+		Name:  "ex2",
+		Graph: g,
+		OpModule: map[string]string{
+			"div1": "M1",
+			"mul1": "M2", "mul3": "M2",
+			"mul2": "M3",
+			"add1": "M4",
+			"add2": "M5",
+			"and1": "M6",
+		},
+		ModuleInventory: "1/, 2*, 2+, 1&",
+		PaperRegisters:  5,
+	}
+}
+
+// tsengGraph is the operation structure shared by the Tseng1 and Tseng2
+// module assignments: eight operations over the kinds +,-,*,/,&,| in four
+// control steps, five registers minimum.
+func tsengGraph() *dfg.Graph {
+	g := dfg.New("tseng")
+	must(g.AddInput("a", "b", "c", "d", "e"))
+	must(g.AddOp("add1", dfg.Add, 1, "w1", "a", "b"))
+	must(g.AddOp("add2", dfg.Add, 1, "w2", "c", "d"))
+	must(g.AddOp("mul1", dfg.Mul, 2, "w3", "w1", "w2"))
+	must(g.AddOp("or1", dfg.Or, 2, "w4", "a", "e"))
+	must(g.AddOp("and1", dfg.And, 3, "w5", "w3", "w4"))
+	must(g.AddOp("div1", dfg.Div, 3, "w6", "w3", "e"))
+	must(g.AddOp("sub1", dfg.Sub, 4, "w7", "w5", "w6"))
+	must(g.AddOp("add3", dfg.Add, 4, "w8", "w5", "b"))
+	must(g.MarkOutput("w7", "w8"))
+	must(g.Validate())
+	return g
+}
+
+// Tseng1 is the Tseng benchmark with the "2+, 1*, 1-, 1&, 1|, 1/" module
+// assignment (seven dedicated functional units).
+func Tseng1() *Benchmark {
+	g := tsengGraph()
+	g.Name = "tseng1"
+	return &Benchmark{
+		Name:  "tseng1",
+		Graph: g,
+		OpModule: map[string]string{
+			"add1": "M1", "add3": "M1",
+			"add2": "M2",
+			"mul1": "M3",
+			"sub1": "M4",
+			"and1": "M5",
+			"or1":  "M6",
+			"div1": "M7",
+		},
+		ModuleInventory: "2+, 1*, 1-, 1&, 1|, 1/",
+		PaperRegisters:  5,
+	}
+}
+
+// Tseng2 is the same operation structure bound to "1+, 3 ALUs".
+func Tseng2() *Benchmark {
+	g := tsengGraph()
+	g.Name = "tseng2"
+	return &Benchmark{
+		Name:  "tseng2",
+		Graph: g,
+		OpModule: map[string]string{
+			"add1": "M1", "add3": "M1", // the dedicated adder
+			"add2": "M2", "or1": "M2", "sub1": "M2", // ALU 1
+			"mul1": "M3", "div1": "M3", // ALU 2
+			"and1": "M4", // ALU 3
+		},
+		ModuleInventory: "1+, 3 ALUs",
+		PaperRegisters:  5,
+	}
+}
+
+// Paulin is the HAL differential-equation benchmark (Paulin & Knight):
+//
+//	x1 = x + dx
+//	u1 = u - 3*x*u*dx - 3*y*dx
+//	y1 = y + u*dx
+//	c  = x1 < a
+//
+// scheduled in five steps on "1+, 2*, 1-" (the comparison runs on the
+// subtractor). The literal 3 (k3) and the parameters dx and a are
+// port-fed; the loop state x, u, y and all intermediates are register
+// allocated, giving the paper's four-register minimum.
+func Paulin() *Benchmark {
+	g := dfg.New("paulin")
+	must(g.AddInput("x", "u", "y", "dx", "a", "k3"))
+	must(g.MarkPortInput("dx", "a", "k3"))
+	must(g.AddOp("m1", dfg.Mul, 1, "t1", "k3", "x"))  // 3*x
+	must(g.AddOp("m2", dfg.Mul, 1, "t2", "u", "dx"))  // u*dx
+	must(g.AddOp("a1", dfg.Add, 1, "x1", "x", "dx"))  // x + dx
+	must(g.AddOp("m4", dfg.Mul, 2, "t4", "t1", "t2")) // 3*x*u*dx
+	must(g.AddOp("cmp", dfg.Lt, 2, "c", "x1", "a"))   // x1 < a
+	must(g.AddOp("m3", dfg.Mul, 3, "t3", "k3", "y"))  // 3*y
+	must(g.AddOp("m6", dfg.Mul, 3, "t7", "u", "dx"))  // u*dx (recomputed)
+	must(g.AddOp("s1", dfg.Sub, 3, "t6", "u", "t4"))  // u - 3*x*u*dx
+	must(g.AddOp("m5", dfg.Mul, 4, "t5", "t3", "dx")) // 3*y*dx
+	must(g.AddOp("s2", dfg.Sub, 5, "u1", "t6", "t5")) // u1
+	must(g.AddOp("a2", dfg.Add, 5, "y1", "y", "t7"))  // y1
+	must(g.MarkOutput("x1", "y1", "u1", "c"))
+	must(g.Validate())
+	return &Benchmark{
+		Name:  "paulin",
+		Graph: g,
+		OpModule: map[string]string{
+			"a1": "M1", "a2": "M1", // adder
+			"m1": "M2", "m4": "M2", "m6": "M2", // multiplier 1
+			"m2": "M3", "m3": "M3", "m5": "M3", // multiplier 2
+			"cmp": "M4", "s1": "M4", "s2": "M4", // subtractor/comparator
+		},
+		ModuleInventory: "1+, 2*, 1-",
+		PaperRegisters:  4,
+	}
+}
+
+// All returns the five Table I benchmarks in paper order.
+func All() []*Benchmark {
+	return []*Benchmark{Ex1(), Ex2(), Tseng1(), Tseng2(), Paulin()}
+}
+
+// ByName returns the named benchmark or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}

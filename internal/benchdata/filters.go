@@ -1,0 +1,251 @@
+package benchdata
+
+import (
+	"fmt"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/sched"
+)
+
+// This file provides scalable DSP benchmarks beyond the paper's five
+// examples: FIR filters, biquad (IIR second-order-section) cascades and
+// lattice filters, one loop iteration unrolled into an acyclic DFG with
+// the filter state as registered inputs/outputs. They drive the scale
+// experiments (`paperbench` extension) and stress the allocator at sizes
+// the 1995 evaluation never reached.
+
+// FIR builds an n-tap finite-impulse-response filter iteration:
+//
+//	y = c0*x0 + c1*x1 + ... + c(n-1)*x(n-1)
+//
+// The delay-line samples x_i are registered inputs (the filter state);
+// the coefficients are port inputs (constants from ROM). Products are
+// accumulated in a balanced tree and the whole graph is list-scheduled
+// with the given multiplier/adder budget.
+func FIR(taps, muls, adds int) (*Benchmark, error) {
+	if taps < 2 {
+		return nil, fmt.Errorf("benchdata: FIR needs >= 2 taps")
+	}
+	g := dfg.New(fmt.Sprintf("fir%d", taps))
+	for i := 0; i < taps; i++ {
+		if err := g.AddInput(fmt.Sprintf("x%d", i)); err != nil {
+			return nil, err
+		}
+		if err := g.AddInput(fmt.Sprintf("c%d", i)); err != nil {
+			return nil, err
+		}
+		if err := g.MarkPortInput(fmt.Sprintf("c%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	// Products.
+	level := make([]string, 0, taps)
+	for i := 0; i < taps; i++ {
+		p := fmt.Sprintf("p%d", i)
+		if err := g.AddOp(fmt.Sprintf("m%d", i), dfg.Mul, 0, p,
+			fmt.Sprintf("c%d", i), fmt.Sprintf("x%d", i)); err != nil {
+			return nil, err
+		}
+		level = append(level, p)
+	}
+	// Balanced adder tree.
+	an := 0
+	for len(level) > 1 {
+		var next []string
+		for i := 0; i+1 < len(level); i += 2 {
+			an++
+			res := fmt.Sprintf("s%d", an)
+			if err := g.AddOp(fmt.Sprintf("a%d", an), dfg.Add, 0, res, level[i], level[i+1]); err != nil {
+				return nil, err
+			}
+			next = append(next, res)
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	if err := g.MarkOutput(level[0]); err != nil {
+		return nil, err
+	}
+	return scheduleBench(g, fmt.Sprintf("fir%d", taps),
+		fmt.Sprintf("%d*, %d+", muls, adds), sched.Limits{dfg.Mul: muls, dfg.Add: adds})
+}
+
+// Biquad builds a cascade of k direct-form-I second-order sections:
+//
+//	w   = x + a1*z1 + a2*z2
+//	y   = b0*w + b1*z1 + b2*z2
+//	z2' = z1, z1' = w
+//
+// State variables z are registered inputs (and the next state registered
+// outputs); coefficients are port inputs.
+func Biquad(sections, muls, adds int) (*Benchmark, error) {
+	if sections < 1 {
+		return nil, fmt.Errorf("benchdata: need >= 1 section")
+	}
+	g := dfg.New(fmt.Sprintf("biquad%d", sections))
+	if err := g.AddInput("x"); err != nil {
+		return nil, err
+	}
+	cur := "x"
+	var outs []string
+	for s := 0; s < sections; s++ {
+		pre := func(n string) string { return fmt.Sprintf("%s_%d", n, s) }
+		for _, st := range []string{"z1", "z2"} {
+			if err := g.AddInput(pre(st)); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range []string{"a1", "a2", "b0", "b1", "b2"} {
+			if err := g.AddInput(pre(c)); err != nil {
+				return nil, err
+			}
+			if err := g.MarkPortInput(pre(c)); err != nil {
+				return nil, err
+			}
+		}
+		add := func(name string, k dfg.Kind, res string, x, y string) error {
+			return g.AddOp(pre(name), k, 0, res, x, y)
+		}
+		if err := add("m1", dfg.Mul, pre("t1"), pre("a1"), pre("z1")); err != nil {
+			return nil, err
+		}
+		if err := add("m2", dfg.Mul, pre("t2"), pre("a2"), pre("z2")); err != nil {
+			return nil, err
+		}
+		if err := add("s1", dfg.Add, pre("t3"), cur, pre("t1")); err != nil {
+			return nil, err
+		}
+		if err := add("s2", dfg.Add, pre("w"), pre("t3"), pre("t2")); err != nil {
+			return nil, err
+		}
+		if err := add("m3", dfg.Mul, pre("t4"), pre("b0"), pre("w")); err != nil {
+			return nil, err
+		}
+		if err := add("m4", dfg.Mul, pre("t5"), pre("b1"), pre("z1")); err != nil {
+			return nil, err
+		}
+		if err := add("m5", dfg.Mul, pre("t6"), pre("b2"), pre("z2")); err != nil {
+			return nil, err
+		}
+		if err := add("s3", dfg.Add, pre("t7"), pre("t4"), pre("t5")); err != nil {
+			return nil, err
+		}
+		if err := add("s4", dfg.Add, pre("y"), pre("t7"), pre("t6")); err != nil {
+			return nil, err
+		}
+		// Next state: z1' = w (already produced), z2' = z1 needs no op;
+		// mark w as a primary output (next z1) and keep y flowing on.
+		outs = append(outs, pre("w"))
+		cur = pre("y")
+	}
+	outs = append(outs, cur)
+	if err := g.MarkOutput(outs...); err != nil {
+		return nil, err
+	}
+	return scheduleBench(g, fmt.Sprintf("biquad%d", sections),
+		fmt.Sprintf("%d*, %d+", muls, adds), sched.Limits{dfg.Mul: muls, dfg.Add: adds})
+}
+
+// Lattice builds an n-stage all-pole lattice filter iteration:
+//
+//	f_{i-1} = f_i - k_i * b_{i-1}
+//	b'_i    = b_{i-1} + k_i * f_{i-1}
+//
+// with registered state b and port-fed reflection coefficients k.
+func Lattice(stages, muls, adds int) (*Benchmark, error) {
+	if stages < 1 {
+		return nil, fmt.Errorf("benchdata: need >= 1 stage")
+	}
+	g := dfg.New(fmt.Sprintf("lattice%d", stages))
+	if err := g.AddInput("fin"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < stages; i++ {
+		if err := g.AddInput(fmt.Sprintf("b%d", i)); err != nil {
+			return nil, err
+		}
+		if err := g.AddInput(fmt.Sprintf("k%d", i)); err != nil {
+			return nil, err
+		}
+		if err := g.MarkPortInput(fmt.Sprintf("k%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	f := "fin"
+	var outs []string
+	for i := stages - 1; i >= 0; i-- {
+		t1 := fmt.Sprintf("t1_%d", i)
+		f2 := fmt.Sprintf("f_%d", i)
+		t2 := fmt.Sprintf("t2_%d", i)
+		bn := fmt.Sprintf("bn_%d", i)
+		if err := g.AddOp(fmt.Sprintf("lm1_%d", i), dfg.Mul, 0, t1, fmt.Sprintf("k%d", i), fmt.Sprintf("b%d", i)); err != nil {
+			return nil, err
+		}
+		if err := g.AddOp(fmt.Sprintf("ls1_%d", i), dfg.Sub, 0, f2, f, t1); err != nil {
+			return nil, err
+		}
+		if err := g.AddOp(fmt.Sprintf("lm2_%d", i), dfg.Mul, 0, t2, fmt.Sprintf("k%d", i), f2); err != nil {
+			return nil, err
+		}
+		if err := g.AddOp(fmt.Sprintf("ls2_%d", i), dfg.Add, 0, bn, fmt.Sprintf("b%d", i), t2); err != nil {
+			return nil, err
+		}
+		outs = append(outs, bn)
+		f = f2
+	}
+	outs = append(outs, f)
+	if err := g.MarkOutput(outs...); err != nil {
+		return nil, err
+	}
+	return scheduleBench(g, fmt.Sprintf("lattice%d", stages),
+		fmt.Sprintf("%d*, %d+/-", muls, adds),
+		sched.Limits{dfg.Mul: muls, dfg.Add: adds, dfg.Sub: adds})
+}
+
+// scheduleBench list-schedules the graph under the limits and wraps it
+// with an automatic module binding map derived from the schedule.
+func scheduleBench(g *dfg.Graph, name, inventory string, limits sched.Limits) (*Benchmark, error) {
+	steps, err := sched.ListSchedule(g, limits)
+	if err != nil {
+		return nil, err
+	}
+	if err := sched.Apply(g, steps); err != nil {
+		return nil, err
+	}
+	// Left-edge module binding per kind (same policy as modassign.Bind),
+	// expressed as an explicit map for Benchmark compatibility.
+	type slot struct {
+		name string
+		busy map[int]bool
+	}
+	slots := make(map[dfg.Kind][]*slot)
+	opMod := make(map[string]string)
+	counter := 0
+	for s := 1; s <= g.NumSteps(); s++ {
+		for _, op := range g.OpsAtStep(s) {
+			placed := false
+			for _, sl := range slots[op.Kind] {
+				if !sl.busy[s] {
+					sl.busy[s] = true
+					opMod[op.Name] = sl.name
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				counter++
+				sl := &slot{name: fmt.Sprintf("M%d", counter), busy: map[int]bool{s: true}}
+				slots[op.Kind] = append(slots[op.Kind], sl)
+				opMod[op.Name] = sl.name
+			}
+		}
+	}
+	return &Benchmark{
+		Name:            name,
+		Graph:           g,
+		OpModule:        opMod,
+		ModuleInventory: inventory,
+	}, nil
+}

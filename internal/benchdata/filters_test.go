@@ -1,0 +1,177 @@
+package benchdata
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/regassign"
+)
+
+func TestFIRStructure(t *testing.T) {
+	b, err := FIR(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Validate(b.Graph); err != nil {
+		t.Fatal(err)
+	}
+	// 8 products, 7 tree adds.
+	if got := len(b.Graph.Ops()); got != 15 {
+		t.Errorf("fir8 has %d ops, want 15", got)
+	}
+	// The filter computes a dot product.
+	in := map[string]uint64{}
+	want := uint64(0)
+	for i := 0; i < 8; i++ {
+		x, c := uint64(i+1), uint64(2*i+1)
+		in[key("x", i)] = x
+		in[key("c", i)] = c
+		want += x * c
+	}
+	vals, err := b.Graph.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range b.Graph.Outputs() {
+		if vals[o] != want&0xFFFF {
+			t.Errorf("fir output %s = %d, want %d", o, vals[o], want)
+		}
+	}
+}
+
+func key(p string, i int) string { return p + string(rune('0'+i)) }
+
+func TestFIRRespectsResourceBudget(t *testing.T) {
+	b, err := FIR(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStep := map[int]map[dfg.Kind]int{}
+	for _, o := range b.Graph.Ops() {
+		if perStep[o.Step] == nil {
+			perStep[o.Step] = map[dfg.Kind]int{}
+		}
+		perStep[o.Step][o.Kind]++
+	}
+	for s, m := range perStep {
+		if m[dfg.Mul] > 2 || m[dfg.Add] > 2 {
+			t.Errorf("step %d exceeds budget: %v", s, m)
+		}
+	}
+}
+
+func TestBiquadComputesSections(t *testing.T) {
+	b, err := Biquad(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"x": 5}
+	for s := 0; s < 2; s++ {
+		in[sfx("z1", s)] = uint64(s + 1)
+		in[sfx("z2", s)] = uint64(s + 2)
+		in[sfx("a1", s)] = 1
+		in[sfx("a2", s)] = 1
+		in[sfx("b0", s)] = 2
+		in[sfx("b1", s)] = 1
+		in[sfx("b2", s)] = 1
+	}
+	vals, err := b.Graph.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 0: w = 5 + 1*1 + 1*2 = 8; y = 2*8 + 1 + 2 = 19.
+	if vals["w_0"] != 8 {
+		t.Errorf("w_0 = %d, want 8", vals["w_0"])
+	}
+	if vals["y_0"] != 19 {
+		t.Errorf("y_0 = %d, want 19", vals["y_0"])
+	}
+	// Section 1 consumes y_0: w = 19 + 2 + 3 = 24; y = 48 + 2 + 3 = 53.
+	if vals["y_1"] != 53 {
+		t.Errorf("y_1 = %d, want 53", vals["y_1"])
+	}
+}
+
+func sfx(n string, s int) string { return n + "_" + string(rune('0'+s)) }
+
+func TestLatticeComputes(t *testing.T) {
+	b, err := Lattice(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage order: i = stages-1 .. 0.
+	in := map[string]uint64{"fin": 10, "b0": 1, "b1": 2, "k0": 3, "k1": 1}
+	vals, err := b.Graph.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=1: f_1 = 10 - 1*2 = 8; bn_1 = 2 + 1*8 = 10.
+	// i=0: f_0 = 8 - 3*1 = 5; bn_0 = 1 + 3*5 = 16.
+	if vals["f_0"] != 5 || vals["bn_0"] != 16 || vals["bn_1"] != 10 {
+		t.Errorf("lattice values wrong: f_0=%d bn_0=%d bn_1=%d", vals["f_0"], vals["bn_0"], vals["bn_1"])
+	}
+}
+
+// Every filter benchmark must flow through the complete allocation
+// pipeline and keep the Table I shape (testable <= traditional forced
+// CBILBOs at equal register count).
+func TestFiltersSynthesizable(t *testing.T) {
+	builds := []func() (*Benchmark, error){
+		func() (*Benchmark, error) { return FIR(8, 2, 2) },
+		func() (*Benchmark, error) { return FIR(16, 3, 3) },
+		func() (*Benchmark, error) { return Biquad(2, 2, 2) },
+		func() (*Benchmark, error) { return Lattice(4, 2, 2) },
+	}
+	for _, build := range builds {
+		b, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := b.Modules()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		rb, err := regassign.Bind(b.Graph, mb, regassign.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if err := rb.Validate(b.Graph); err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		trad, err := regassign.Traditional(b.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min, _ := b.Graph.MinRegisters()
+		if trad.NumRegisters() != min {
+			t.Errorf("%s: traditional %d registers, minimum %d", b.Name, trad.NumRegisters(), min)
+		}
+		if rb.NumRegisters() > min+1 {
+			t.Errorf("%s: testable %d registers, minimum %d", b.Name, rb.NumRegisters(), min)
+		}
+		nb := len(regassign.ForcedCBILBOs(b.Graph, mb, rb.Sets()))
+		nt := len(regassign.ForcedCBILBOs(b.Graph, mb, trad.Sets()))
+		if nb > nt {
+			t.Errorf("%s: testable forces %d CBILBOs, traditional %d", b.Name, nb, nt)
+		}
+	}
+}
+
+func TestFilterArgumentValidation(t *testing.T) {
+	if _, err := FIR(1, 1, 1); err == nil {
+		t.Error("1-tap FIR accepted")
+	}
+	if _, err := Biquad(0, 1, 1); err == nil {
+		t.Error("0-section biquad accepted")
+	}
+	if _, err := Lattice(0, 1, 1); err == nil {
+		t.Error("0-stage lattice accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package bist allocates test resources for a bound data path: it plays
+// the role of the USC BITS system in the paper's evaluation. For every
+// module it enumerates the BIST embeddings reachable through the data
+// path's I-paths, then chooses one embedding per module so that the
+// total area of upgraded registers (TPG/SA/BILBO/CBILBO) is minimal,
+// and finally schedules compatible module tests into sessions.
+package bist
+
+import (
+	"fmt"
+	"sort"
+
+	"bistpath/internal/area"
+	"bistpath/internal/datapath"
+	"bistpath/internal/interconnect"
+)
+
+// Embedding is one BIST configuration for a module: pattern sources for
+// its input ports and the signature register for its output port
+// (Section II of the paper). Heads are registers or — when the
+// methodology permits — input pads, which are directly controllable and
+// cost nothing (Definition 1 allows I-paths to start at primary inputs).
+// The tail is always a register.
+type Embedding struct {
+	Module string
+	HeadL  string
+	HeadR  string // empty for unary modules
+	Tail   string
+}
+
+// NeedsCBILBO reports whether this embedding makes some register generate
+// patterns and compact responses for the same module simultaneously.
+func (e Embedding) NeedsCBILBO() bool {
+	return e.Tail == e.HeadL || (e.HeadR != "" && e.Tail == e.HeadR)
+}
+
+// CBILBORegister returns the register that must be a CBILBO under this
+// embedding ("" if none).
+func (e Embedding) CBILBORegister() string {
+	if e.Tail == e.HeadL || e.Tail == e.HeadR {
+		return e.Tail
+	}
+	return ""
+}
+
+func (e Embedding) String() string {
+	if e.HeadR == "" {
+		return fmt.Sprintf("%s: L<=%s out=>%s", e.Module, e.HeadL, e.Tail)
+	}
+	return fmt.Sprintf("%s: L<=%s R<=%s out=>%s", e.Module, e.HeadL, e.HeadR, e.Tail)
+}
+
+// Embeddings enumerates every BIST embedding of a module over the simple
+// I-paths of the data path. The two heads must be distinct sources
+// (correlated patterns on both ports cannot test the module) — except
+// for diagonal modules (squarers: every instance reads one source on
+// both ports), whose ports are never independently exercisable and may
+// share a single generator. When allowPadHeads is false, only registers
+// may act as heads.
+func Embeddings(dp *datapath.Datapath, module string, allowPadHeads bool) []Embedding {
+	m := dp.Module(module)
+	if m == nil {
+		return nil
+	}
+	diagonal := dp.ModuleDiagonal(module)
+	heads := func(srcs []string) []string {
+		var out []string
+		for _, s := range srcs {
+			if interconnect.IsPad(s) && !allowPadHeads {
+				continue
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	ls := heads(m.Left)
+	rs := heads(m.Right)
+	var out []Embedding
+	if len(m.Right) == 0 { // unary module
+		for _, l := range ls {
+			for _, t := range m.Dests {
+				out = append(out, Embedding{Module: module, HeadL: l, Tail: t})
+			}
+		}
+		return out
+	}
+	for _, l := range ls {
+		for _, r := range rs {
+			if l == r && !diagonal {
+				continue
+			}
+			for _, t := range m.Dests {
+				out = append(out, Embedding{Module: module, HeadL: l, HeadR: r, Tail: t})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.HeadL != b.HeadL {
+			return a.HeadL < b.HeadL
+		}
+		if a.HeadR != b.HeadR {
+			return a.HeadR < b.HeadR
+		}
+		return a.Tail < b.Tail
+	})
+	return out
+}
+
+// ForcedCBILBOByEnumeration reports whether every embedding of the module
+// requires a CBILBO register (the brute-force ground truth for Lemma 2).
+// It returns false if the module has no embedding at all.
+func ForcedCBILBOByEnumeration(dp *datapath.Datapath, module string, allowPadHeads bool) bool {
+	embs := Embeddings(dp, module, allowPadHeads)
+	if len(embs) == 0 {
+		return false
+	}
+	for _, e := range embs {
+		if !e.NeedsCBILBO() {
+			return false
+		}
+	}
+	return true
+}
+
+// roles accumulates the duties assigned to a register across modules.
+type roles struct {
+	tpgFor []string
+	saFor  []string
+	cbilbo bool // head and tail for the same module
+}
+
+// Style derives the register style from its duties.
+func (r roles) style() area.Style {
+	switch {
+	case r.cbilbo:
+		return area.CBILBO
+	case len(r.tpgFor) > 0 && len(r.saFor) > 0:
+		return area.BILBO
+	case len(r.tpgFor) > 0:
+		return area.TPG
+	case len(r.saFor) > 0:
+		return area.SA
+	}
+	return area.Normal
+}
+
+// applyEmbedding merges an embedding's duties into a roles map (register
+// names only; pad heads carry no cost).
+func applyEmbedding(rr map[string]roles, e Embedding) {
+	addTPG := func(h string) {
+		if h == "" || interconnect.IsPad(h) {
+			return
+		}
+		r := rr[h]
+		r.tpgFor = append(r.tpgFor, e.Module)
+		if h == e.Tail {
+			r.cbilbo = true
+		}
+		rr[h] = r
+	}
+	addTPG(e.HeadL)
+	addTPG(e.HeadR)
+	t := rr[e.Tail]
+	t.saFor = append(t.saFor, e.Module)
+	rr[e.Tail] = t
+}
+
+// stylesOf computes the per-register styles for a set of embeddings.
+func stylesOf(embs map[string]Embedding) map[string]area.Style {
+	rr := make(map[string]roles)
+	for _, e := range embs {
+		applyEmbedding(rr, e)
+	}
+	out := make(map[string]area.Style, len(rr))
+	for reg, r := range rr {
+		out[reg] = r.style()
+	}
+	return out
+}
+
+// extraArea sums the style upgrade costs.
+func extraArea(m area.Model, styles map[string]area.Style) int {
+	total := 0
+	for _, s := range styles {
+		total += m.StyleExtra(s)
+	}
+	return total
+}

@@ -1,0 +1,348 @@
+package bist
+
+import (
+	"fmt"
+	"sort"
+
+	"bistpath/internal/area"
+	"bistpath/internal/datapath"
+	"bistpath/internal/interconnect"
+)
+
+// Plan is a complete BIST solution for a data path.
+type Plan struct {
+	Embeddings map[string]Embedding  // chosen embedding per module
+	Styles     map[string]area.Style // style per register (Normal omitted)
+	Sessions   [][]string            // modules tested concurrently, per session
+	ExtraArea  int                   // gate equivalents added by register upgrades
+	Exact      bool                  // true if found by exhaustive branch & bound
+}
+
+// StyleCount returns how many registers carry each non-normal style.
+func (p *Plan) StyleCount() map[area.Style]int {
+	out := make(map[area.Style]int)
+	for _, s := range p.Styles {
+		if s != area.Normal {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// NumBISTRegisters returns the number of registers modified for test.
+func (p *Plan) NumBISTRegisters() int {
+	n := 0
+	for _, s := range p.Styles {
+		if s != area.Normal {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configures the optimizer.
+type Options struct {
+	Model         area.Model
+	AllowPadHeads bool // pads may source test patterns (Definition 1)
+	NodeBudget    int  // branch&bound node cap before greedy fallback (0 = default)
+	// MinimizeSessions breaks area ties in favor of plans that schedule
+	// into fewer test sessions (shorter total test time). Area remains
+	// the primary objective — the paper's; this is the natural secondary
+	// one ("it is not necessary to test all the combinational modules at
+	// the same time", Section II).
+	MinimizeSessions bool
+}
+
+// DefaultOptions returns the standard configuration for the given width.
+func DefaultOptions(width int) Options {
+	return Options{Model: area.Default(width), AllowPadHeads: true}
+}
+
+// Optimize chooses one embedding per module minimizing the total register
+// upgrade area, then schedules test sessions. The search is exact branch
+// and bound for realistic sizes; beyond the node budget it falls back to
+// a greedy pass with local improvement (Exact reports which).
+func Optimize(dp *datapath.Datapath, opts Options) (*Plan, error) {
+	if opts.Model.Width == 0 {
+		opts.Model = area.Default(dp.Width)
+	}
+	if opts.NodeBudget == 0 {
+		opts.NodeBudget = 2_000_000
+	}
+	type modEmb struct {
+		name string
+		embs []Embedding
+	}
+	var mods []modEmb
+	for _, m := range dp.Modules {
+		embs := Embeddings(dp, m.Name, opts.AllowPadHeads)
+		if len(embs) == 0 {
+			return nil, fmt.Errorf("bist: module %s has no BIST embedding (no register I-paths)", m.Name)
+		}
+		mods = append(mods, modEmb{m.Name, embs})
+	}
+	// Most-constrained modules first makes pruning effective.
+	sort.Slice(mods, func(i, j int) bool {
+		if len(mods[i].embs) != len(mods[j].embs) {
+			return len(mods[i].embs) < len(mods[j].embs)
+		}
+		return mods[i].name < mods[j].name
+	})
+	for i := range mods {
+		mods[i].embs = append([]Embedding(nil), mods[i].embs...)
+	}
+
+	// Pre-sort each module's embeddings once by standalone upgrade cost
+	// (cheap embeddings first makes the first complete solution strong).
+	for _, m := range mods {
+		standalone := func(e Embedding) int {
+			one := map[string]Embedding{m.name: e}
+			return extraArea(opts.Model, stylesOf(one))
+		}
+		sort.SliceStable(m.embs, func(a, b int) bool { return standalone(m.embs[a]) < standalone(m.embs[b]) })
+	}
+
+	best := make(map[string]Embedding, len(mods))
+	bestCost := -1
+	bestSessions := -1
+	nodes := 0
+	exact := true
+	cur := make(map[string]Embedding, len(mods))
+	st := newRoleState(opts.Model)
+
+	sessionsOf := func(embs map[string]Embedding) int {
+		p := &Plan{Embeddings: embs, Styles: stylesOf(embs)}
+		return len(ScheduleSessions(p))
+	}
+	var dfs func(i int)
+	dfs = func(i int) {
+		if nodes > opts.NodeBudget {
+			exact = false
+			return
+		}
+		nodes++
+		cost := st.cost
+		if bestCost >= 0 {
+			if cost > bestCost {
+				return // adding modules never lowers cost
+			}
+			if cost == bestCost && i < len(mods) && !opts.MinimizeSessions {
+				return // equal-cost completions cannot improve
+			}
+		}
+		if i == len(mods) {
+			if bestCost < 0 || cost < bestCost {
+				bestCost = cost
+				for k, v := range cur {
+					best[k] = v
+				}
+				if opts.MinimizeSessions {
+					bestSessions = sessionsOf(best)
+				}
+				return
+			}
+			// cost == bestCost: prefer fewer sessions when asked.
+			if opts.MinimizeSessions {
+				if s := sessionsOf(cur); s < bestSessions {
+					bestSessions = s
+					for k, v := range cur {
+						best[k] = v
+					}
+				}
+			}
+			return
+		}
+		m := mods[i]
+		for _, e := range m.embs {
+			cur[m.name] = e
+			st.apply(e)
+			dfs(i + 1)
+			st.undo(e)
+			delete(cur, m.name)
+		}
+	}
+	dfs(0)
+
+	if bestCost < 0 || !exact {
+		// Greedy fallback (also used when the budget ran out before any
+		// complete solution, which cannot happen with the default budget
+		// but is handled for safety).
+		greedy := make(map[string]Embedding, len(mods))
+		for _, m := range mods {
+			bi, bc := 0, -1
+			for idx, e := range m.embs {
+				greedy[m.name] = e
+				c := extraArea(opts.Model, stylesOf(greedy))
+				if bc < 0 || c < bc {
+					bi, bc = idx, c
+				}
+			}
+			greedy[m.name] = m.embs[bi]
+		}
+		// One improvement sweep.
+		for _, m := range mods {
+			bc := extraArea(opts.Model, stylesOf(greedy))
+			for _, e := range m.embs {
+				old := greedy[m.name]
+				greedy[m.name] = e
+				if c := extraArea(opts.Model, stylesOf(greedy)); c < bc {
+					bc = c
+				} else {
+					greedy[m.name] = old
+				}
+			}
+		}
+		gc := extraArea(opts.Model, stylesOf(greedy))
+		if bestCost < 0 || gc < bestCost {
+			best = greedy
+			bestCost = gc
+		}
+	}
+
+	plan := &Plan{
+		Embeddings: best,
+		Styles:     stylesOf(best),
+		ExtraArea:  bestCost,
+		Exact:      exact,
+	}
+	plan.Sessions = ScheduleSessions(plan)
+	return plan, plan.Validate(dp)
+}
+
+// Validate checks that the plan's embeddings exist in the data path, the
+// styles match the embeddings' duties, and the sessions are conflict-free
+// and cover every module exactly once.
+func (p *Plan) Validate(dp *datapath.Datapath) error {
+	for name, e := range p.Embeddings {
+		m := dp.Module(name)
+		if m == nil {
+			return fmt.Errorf("bist: embedding for unknown module %s", name)
+		}
+		if !containsStr(m.Left, e.HeadL) {
+			return fmt.Errorf("bist: %s head %s not on left port", name, e.HeadL)
+		}
+		if e.HeadR != "" && !containsStr(m.Right, e.HeadR) {
+			return fmt.Errorf("bist: %s head %s not on right port", name, e.HeadR)
+		}
+		if !containsStr(m.Dests, e.Tail) {
+			return fmt.Errorf("bist: %s tail %s not a destination", name, e.Tail)
+		}
+		if e.HeadR != "" && e.HeadL == e.HeadR && !dp.ModuleDiagonal(name) {
+			return fmt.Errorf("bist: %s uses one source for both ports", name)
+		}
+	}
+	for _, m := range dp.Modules {
+		if _, ok := p.Embeddings[m.Name]; !ok {
+			return fmt.Errorf("bist: module %s has no embedding in plan", m.Name)
+		}
+	}
+	if want := stylesOf(p.Embeddings); len(want) != len(p.Styles) {
+		return fmt.Errorf("bist: style map inconsistent")
+	} else {
+		for r, s := range want {
+			if p.Styles[r] != s {
+				return fmt.Errorf("bist: register %s style %v, duties say %v", r, p.Styles[r], s)
+			}
+		}
+	}
+	seen := make(map[string]bool)
+	for _, sess := range p.Sessions {
+		for _, m := range sess {
+			if seen[m] {
+				return fmt.Errorf("bist: module %s in two sessions", m)
+			}
+			seen[m] = true
+		}
+		if err := p.checkSession(sess); err != nil {
+			return err
+		}
+	}
+	for name := range p.Embeddings {
+		if !seen[name] {
+			return fmt.Errorf("bist: module %s unscheduled", name)
+		}
+	}
+	return nil
+}
+
+func containsStr(list []string, x string) bool {
+	for _, s := range list {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+// roleState tracks register duties and the total upgrade cost
+// incrementally as embeddings are applied and undone during the branch
+// and bound — O(1) per affected register instead of recomputing every
+// style from scratch at every node.
+type roleState struct {
+	model  area.Model
+	tpgCnt map[string]int
+	saCnt  map[string]int
+	cbCnt  map[string]int
+	cost   int
+}
+
+func newRoleState(m area.Model) *roleState {
+	return &roleState{
+		model:  m,
+		tpgCnt: make(map[string]int),
+		saCnt:  make(map[string]int),
+		cbCnt:  make(map[string]int),
+	}
+}
+
+func (s *roleState) styleExtra(reg string) int {
+	switch {
+	case s.cbCnt[reg] > 0:
+		return s.model.StyleExtra(area.CBILBO)
+	case s.tpgCnt[reg] > 0 && s.saCnt[reg] > 0:
+		return s.model.StyleExtra(area.BILBO)
+	case s.tpgCnt[reg] > 0:
+		return s.model.StyleExtra(area.TPG)
+	case s.saCnt[reg] > 0:
+		return s.model.StyleExtra(area.SA)
+	}
+	return 0
+}
+
+func (s *roleState) touch(reg string, f func()) {
+	before := s.styleExtra(reg)
+	f()
+	s.cost += s.styleExtra(reg) - before
+}
+
+func (s *roleState) apply(e Embedding) {
+	for _, h := range []string{e.HeadL, e.HeadR} {
+		if h == "" || interconnect.IsPad(h) {
+			continue
+		}
+		h := h
+		s.touch(h, func() {
+			s.tpgCnt[h]++
+			if h == e.Tail {
+				s.cbCnt[h]++
+			}
+		})
+	}
+	s.touch(e.Tail, func() { s.saCnt[e.Tail]++ })
+}
+
+func (s *roleState) undo(e Embedding) {
+	for _, h := range []string{e.HeadL, e.HeadR} {
+		if h == "" || interconnect.IsPad(h) {
+			continue
+		}
+		h := h
+		s.touch(h, func() {
+			s.tpgCnt[h]--
+			if h == e.Tail {
+				s.cbCnt[h]--
+			}
+		})
+	}
+	s.touch(e.Tail, func() { s.saCnt[e.Tail]-- })
+}

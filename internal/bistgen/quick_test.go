@@ -1,0 +1,77 @@
+package bistgen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The LFSR next-state function is a bijection on nonzero states
+// (distinct states map to distinct successors), for both the primary and
+// the secondary polynomial.
+func TestLFSRBijectiveQuick(t *testing.T) {
+	tapsP, _ := PrimitiveTaps(8)
+	tapsS, ok := SecondaryTaps(8)
+	if !ok {
+		t.Fatal("no secondary taps for width 8")
+	}
+	for _, taps := range []uint64{tapsP, tapsS} {
+		next := func(s uint64) uint64 {
+			l := NewLFSRWithTaps(8, taps, s)
+			return l.Next()
+		}
+		prop := func(a, b uint8) bool {
+			x, y := uint64(a), uint64(b)
+			if x == 0 || y == 0 || x == y {
+				return true
+			}
+			return next(x) != next(y)
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("taps %#x: %v", taps, err)
+		}
+	}
+}
+
+// MISR compaction is linear: sig(a XOR b stream) = sig(a) XOR sig(b)
+// when starting from zero.
+func TestMISRLinearityQuick(t *testing.T) {
+	prop := func(words [6]uint8) bool {
+		ma, _ := NewMISR(8)
+		mb, _ := NewMISR(8)
+		mx, _ := NewMISR(8)
+		for i, w := range words {
+			a := uint64(w)
+			b := uint64(words[(i+3)%6]) * 37 & 0xFF
+			ma.Shift(a)
+			mb.Shift(b)
+			mx.Shift(a ^ b)
+		}
+		return mx.Signature() == ma.Signature()^mb.Signature()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// EvalFaulty with no fault equals plain evaluation, and injecting then
+// "detecting" is consistent: a fault on an input bit changes the result
+// iff flipping that bit changes the function value.
+func TestEvalFaultyConsistencyQuick(t *testing.T) {
+	prop := func(a, b uint8, bit uint8, stuck1 bool) bool {
+		x, y := uint64(a), uint64(b)
+		bi := int(bit % 8)
+		f := Fault{Site: PortL, Bit: bi, Stuck1: stuck1}
+		faulty := EvalFaulty("+", x, y, 8, &f)
+		forced := x
+		if stuck1 {
+			forced |= 1 << uint(bi)
+		} else {
+			forced &^= 1 << uint(bi)
+		}
+		want := EvalFaulty("+", forced, y, 8, nil)
+		return faulty == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

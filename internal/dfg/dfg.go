@@ -1,0 +1,406 @@
+// Package dfg models scheduled data flow graphs (DFGs), the behavioral
+// input to the allocation flow.
+//
+// A DFG is a set of operations connected by variables. Variables are the
+// edges of the graph: each is defined by at most one operation (or is a
+// primary input) and consumed by zero or more operations (or is a primary
+// output). A schedule maps every operation to a control step. Variable
+// lifetimes, the conflict relation used for register binding, and the
+// module input/output variable sets of the paper all derive from this
+// representation.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies the function computed by an operation. Kinds correspond
+// to the operator inventory of the DAC'95 benchmarks (Table I).
+type Kind string
+
+// Operation kinds.
+const (
+	Add Kind = "+"
+	Sub Kind = "-"
+	Mul Kind = "*"
+	Div Kind = "/"
+	And Kind = "&"
+	Or  Kind = "|"
+	Xor Kind = "^"
+	Lt  Kind = "<"
+	Gt  Kind = ">"
+	// ALU is not an operation kind; it appears only as a module class
+	// capable of executing several kinds (see internal/modassign).
+)
+
+// Commutative reports whether operand order is irrelevant for the kind.
+// The paper assumes binary commutative operators; non-commutative ones are
+// handled by extra constraints in interconnect binding.
+func (k Kind) Commutative() bool {
+	switch k {
+	case Add, Mul, And, Or, Xor:
+		return true
+	}
+	return false
+}
+
+// Valid reports whether k is one of the recognized operation kinds.
+func (k Kind) Valid() bool {
+	switch k {
+	case Add, Sub, Mul, Div, And, Or, Xor, Lt, Gt:
+		return true
+	}
+	return false
+}
+
+// Op is a single operation (a vertex of the DFG).
+type Op struct {
+	Name   string
+	Kind   Kind
+	Args   []string // operand variable names (1 for unary, 2 for binary)
+	Result string   // variable defined by this op
+	Step   int      // control step, 1-based; 0 means unscheduled
+}
+
+// Binary reports whether the op has two operands.
+func (o *Op) Binary() bool { return len(o.Args) == 2 }
+
+func (o *Op) String() string {
+	if len(o.Args) == 2 {
+		return fmt.Sprintf("%s: %s = %s %s %s @%d", o.Name, o.Result, o.Args[0], o.Kind, o.Args[1], o.Step)
+	}
+	return fmt.Sprintf("%s: %s = %s %s @%d", o.Name, o.Result, o.Kind, o.Args[0], o.Step)
+}
+
+// Var is a value carrier (an edge of the DFG).
+type Var struct {
+	Name     string
+	IsInput  bool     // primary input: defined by the environment before step 1
+	IsOutput bool     // primary output: must survive past the last step
+	IsPort   bool     // port-fed input: wired to module ports, never register-allocated
+	Def      string   // name of the defining op; empty for primary inputs
+	Uses     []string // names of consuming ops, in insertion order
+}
+
+// Graph is a (possibly scheduled) data flow graph. Construct with New and
+// the Add* methods, then call Validate. The zero value is not usable.
+type Graph struct {
+	Name string
+
+	ops  []*Op
+	vars []*Var
+
+	opIx  map[string]*Op
+	varIx map[string]*Var
+}
+
+// New returns an empty DFG with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		Name:  name,
+		opIx:  make(map[string]*Op),
+		varIx: make(map[string]*Var),
+	}
+}
+
+// AddInput declares primary input variables.
+func (g *Graph) AddInput(names ...string) error {
+	for _, n := range names {
+		if err := g.addVar(n); err != nil {
+			return err
+		}
+		g.varIx[n].IsInput = true
+	}
+	return nil
+}
+
+// MarkPortInput marks primary inputs as port-fed: the value is wired from
+// an input pad to the consuming module ports and never occupies a
+// register. Constants and environment parameters (e.g. dx, a and the
+// literal 3 of the differential-equation benchmark) are modeled this way.
+func (g *Graph) MarkPortInput(names ...string) error {
+	for _, n := range names {
+		v, ok := g.varIx[n]
+		if !ok {
+			return fmt.Errorf("dfg %s: port input %q: no such variable", g.Name, n)
+		}
+		if !v.IsInput {
+			return fmt.Errorf("dfg %s: port input %q is not a primary input", g.Name, n)
+		}
+		v.IsPort = true
+	}
+	return nil
+}
+
+// AllocVars returns the names of the variables that must be bound to
+// registers (everything except port-fed inputs), sorted.
+func (g *Graph) AllocVars() []string {
+	var out []string
+	for _, v := range g.vars {
+		if !v.IsPort {
+			out = append(out, v.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkOutput marks existing variables as primary outputs.
+func (g *Graph) MarkOutput(names ...string) error {
+	for _, n := range names {
+		v, ok := g.varIx[n]
+		if !ok {
+			return fmt.Errorf("dfg %s: output %q: no such variable", g.Name, n)
+		}
+		v.IsOutput = true
+	}
+	return nil
+}
+
+func (g *Graph) addVar(name string) error {
+	if name == "" {
+		return fmt.Errorf("dfg %s: empty variable name", g.Name)
+	}
+	if _, dup := g.varIx[name]; dup {
+		return fmt.Errorf("dfg %s: duplicate variable %q", g.Name, name)
+	}
+	v := &Var{Name: name}
+	g.vars = append(g.vars, v)
+	g.varIx[name] = v
+	return nil
+}
+
+// AddOp adds an operation computing result from args at the given control
+// step. Operand variables must already exist (as inputs or as results of
+// previously added ops); the result variable is created. All operator
+// kinds are binary (the paper's model; a unary operation is expressed as
+// a binary one with a port-fed constant operand, e.g. negation as
+// k0 - x).
+func (g *Graph) AddOp(name string, kind Kind, step int, result string, args ...string) error {
+	if !kind.Valid() {
+		return fmt.Errorf("dfg %s: op %q: invalid kind %q", g.Name, name, kind)
+	}
+	if _, dup := g.opIx[name]; dup {
+		return fmt.Errorf("dfg %s: duplicate op %q", g.Name, name)
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("dfg %s: op %q: operators are binary, got %d operands", g.Name, name, len(args))
+	}
+	for _, a := range args {
+		if _, ok := g.varIx[a]; !ok {
+			return fmt.Errorf("dfg %s: op %q: operand %q not defined yet", g.Name, name, a)
+		}
+	}
+	if err := g.addVar(result); err != nil {
+		return err
+	}
+	op := &Op{Name: name, Kind: kind, Args: append([]string(nil), args...), Result: result, Step: step}
+	g.ops = append(g.ops, op)
+	g.opIx[name] = op
+	g.varIx[result].Def = name
+	for _, a := range args {
+		g.varIx[a].Uses = append(g.varIx[a].Uses, name)
+	}
+	return nil
+}
+
+// Ops returns the operations in insertion order. The slice is shared; do
+// not modify its structure.
+func (g *Graph) Ops() []*Op { return g.ops }
+
+// Vars returns the variables in insertion order. The slice is shared.
+func (g *Graph) Vars() []*Var { return g.vars }
+
+// Op returns the named operation, or nil.
+func (g *Graph) Op(name string) *Op { return g.opIx[name] }
+
+// Var returns the named variable, or nil.
+func (g *Graph) Var(name string) *Var { return g.varIx[name] }
+
+// NumSteps returns the highest control step used by the schedule
+// (0 if unscheduled).
+func (g *Graph) NumSteps() int {
+	max := 0
+	for _, o := range g.ops {
+		if o.Step > max {
+			max = o.Step
+		}
+	}
+	return max
+}
+
+// Scheduled reports whether every op has a positive control step.
+func (g *Graph) Scheduled() bool {
+	for _, o := range g.ops {
+		if o.Step <= 0 {
+			return false
+		}
+	}
+	return len(g.ops) > 0
+}
+
+// OpsAtStep returns the ops scheduled at the given step, in insertion order.
+func (g *Graph) OpsAtStep(step int) []*Op {
+	var out []*Op
+	for _, o := range g.ops {
+		if o.Step == step {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Inputs returns the primary input variable names, sorted.
+func (g *Graph) Inputs() []string {
+	var out []string
+	for _, v := range g.vars {
+		if v.IsInput {
+			out = append(out, v.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Outputs returns the primary output variable names, sorted.
+func (g *Graph) Outputs() []string {
+	var out []string
+	for _, v := range g.vars {
+		if v.IsOutput {
+			out = append(out, v.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rename changes a variable's name (used by the expression front end to
+// bind temporaries to their assignment targets). The variable must not
+// yet be referenced as an operand or marked as an input.
+func (g *Graph) Rename(oldName, newName string) error {
+	v := g.varIx[oldName]
+	if v == nil {
+		return fmt.Errorf("dfg %s: rename: no variable %q", g.Name, oldName)
+	}
+	if _, exists := g.varIx[newName]; exists {
+		return fmt.Errorf("dfg %s: rename: %q already exists", g.Name, newName)
+	}
+	if newName == "" {
+		return fmt.Errorf("dfg %s: rename: empty name", g.Name)
+	}
+	if len(v.Uses) > 0 {
+		return fmt.Errorf("dfg %s: rename: %q already referenced", g.Name, oldName)
+	}
+	if v.IsInput {
+		return fmt.Errorf("dfg %s: rename: %q is a primary input", g.Name, oldName)
+	}
+	delete(g.varIx, oldName)
+	v.Name = newName
+	g.varIx[newName] = v
+	if v.Def != "" {
+		g.opIx[v.Def].Result = newName
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.Name)
+	for _, v := range g.vars {
+		nv := &Var{Name: v.Name, IsInput: v.IsInput, IsOutput: v.IsOutput, IsPort: v.IsPort, Def: v.Def, Uses: append([]string(nil), v.Uses...)}
+		c.vars = append(c.vars, nv)
+		c.varIx[nv.Name] = nv
+	}
+	for _, o := range g.ops {
+		no := &Op{Name: o.Name, Kind: o.Kind, Args: append([]string(nil), o.Args...), Result: o.Result, Step: o.Step}
+		c.ops = append(c.ops, no)
+		c.opIx[no.Name] = no
+	}
+	return c
+}
+
+// Validate checks structural and schedule consistency:
+// every operand is a primary input or defined by some op; the dependency
+// relation is acyclic; and, if scheduled, every consumer runs strictly
+// after its producer (values are latched at the end of the producing step).
+func (g *Graph) Validate() error {
+	if len(g.ops) == 0 {
+		return fmt.Errorf("dfg %s: no operations", g.Name)
+	}
+	for _, v := range g.vars {
+		if !v.IsInput && v.Def == "" {
+			return fmt.Errorf("dfg %s: variable %q has no definition and is not a primary input", g.Name, v.Name)
+		}
+		if v.IsInput && v.Def != "" {
+			return fmt.Errorf("dfg %s: primary input %q is also defined by op %q", g.Name, v.Name, v.Def)
+		}
+		if len(v.Uses) == 0 && !v.IsOutput {
+			return fmt.Errorf("dfg %s: variable %q is dead (no uses, not an output)", g.Name, v.Name)
+		}
+	}
+	if err := g.checkAcyclic(); err != nil {
+		return err
+	}
+	for _, o := range g.ops {
+		if o.Step < 0 {
+			return fmt.Errorf("dfg %s: op %q: negative step", g.Name, o.Name)
+		}
+		if o.Step == 0 {
+			continue // unscheduled is legal until a scheduler runs
+		}
+		for _, a := range o.Args {
+			av := g.varIx[a]
+			if av.IsInput {
+				continue
+			}
+			def := g.opIx[av.Def]
+			if def.Step == 0 {
+				return fmt.Errorf("dfg %s: op %q scheduled but producer %q is not", g.Name, o.Name, def.Name)
+			}
+			if def.Step >= o.Step {
+				return fmt.Errorf("dfg %s: op %q at step %d reads %q produced at step %d (must be strictly earlier)",
+					g.Name, o.Name, o.Step, a, def.Step)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(g.ops))
+	var visit func(op *Op) error
+	visit = func(op *Op) error {
+		state[op.Name] = gray
+		for _, a := range op.Args {
+			v := g.varIx[a]
+			if v.Def == "" {
+				continue
+			}
+			dep := g.opIx[v.Def]
+			switch state[dep.Name] {
+			case gray:
+				return fmt.Errorf("dfg %s: dependency cycle through op %q", g.Name, dep.Name)
+			case white:
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[op.Name] = black
+		return nil
+	}
+	for _, o := range g.ops {
+		if state[o.Name] == white {
+			if err := visit(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

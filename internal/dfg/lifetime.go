@@ -1,0 +1,176 @@
+package dfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Lifetime is the register-occupancy interval of a variable. A variable is
+// born at the control step of its producer (the value is latched into a
+// register at the end of that step) and dies at the step of its last
+// consumer (the value is read during that step). Primary inputs arrive
+// just in time: they are born one step before their first use (loaded from
+// an input port). A primary output must survive at least one step past its
+// production so the environment can sample it.
+//
+// The occupancy interval is the half-open (Born, Dies]: the variable holds
+// a register from the end of step Born through step Dies.
+type Lifetime struct {
+	Var  string
+	Born int
+	Dies int
+}
+
+// Overlaps reports whether two occupancy intervals intersect, i.e. whether
+// the variables conflict and may not share a register.
+func (l Lifetime) Overlaps(m Lifetime) bool {
+	return l.Born < m.Dies && m.Born < l.Dies
+}
+
+// Length returns the number of steps the variable occupies a register.
+func (l Lifetime) Length() int { return l.Dies - l.Born }
+
+func (l Lifetime) String() string {
+	return fmt.Sprintf("%s:(%d,%d]", l.Var, l.Born, l.Dies)
+}
+
+// Lifetimes computes the lifetime of every variable of a scheduled graph.
+// The result is keyed by variable name.
+func (g *Graph) Lifetimes() (map[string]Lifetime, error) {
+	if !g.Scheduled() {
+		return nil, fmt.Errorf("dfg %s: lifetimes require a complete schedule", g.Name)
+	}
+	out := make(map[string]Lifetime, len(g.vars))
+	for _, v := range g.vars {
+		if v.IsPort {
+			continue // port-fed inputs never occupy a register
+		}
+		lt := Lifetime{Var: v.Name}
+		if v.IsInput {
+			first := 0
+			for _, u := range v.Uses {
+				if s := g.opIx[u].Step; first == 0 || s < first {
+					first = s
+				}
+			}
+			if first > 0 {
+				lt.Born = first - 1
+			}
+		} else {
+			lt.Born = g.opIx[v.Def].Step
+		}
+		lt.Dies = lt.Born
+		for _, u := range v.Uses {
+			if s := g.opIx[u].Step; s > lt.Dies {
+				lt.Dies = s
+			}
+		}
+		if lt.Dies == lt.Born {
+			// Produced and never read internally (a primary output, or an
+			// unused input): the value still occupies a register for one
+			// step so the environment can sample it.
+			lt.Dies = lt.Born + 1
+		}
+		out[v.Name] = lt
+	}
+	return out, nil
+}
+
+// Conflicts returns, for each variable, the set of variables whose
+// lifetimes overlap with it. The relation is symmetric and irreflexive.
+func (g *Graph) Conflicts() (map[string]map[string]bool, error) {
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]bool, len(g.vars))
+	names := g.AllocVars()
+	for _, v := range names {
+		out[v] = make(map[string]bool)
+	}
+	for i, u := range names {
+		for _, v := range names[i+1:] {
+			if lts[u].Overlaps(lts[v]) {
+				out[u][v] = true
+				out[v][u] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// Density returns, for each control-step boundary t in [1, NumSteps()+1],
+// the number of variables alive across it (occupying a register during
+// step t). The maximum density equals the minimum number of registers
+// required and the size of the largest clique of the conflict graph.
+func (g *Graph) Density() ([]int, error) {
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return nil, err
+	}
+	last := 0
+	for _, lt := range lts {
+		if lt.Dies > last {
+			last = lt.Dies
+		}
+	}
+	dens := make([]int, last+1) // index = step, 1-based; index 0 unused
+	for _, lt := range lts {
+		for t := lt.Born + 1; t <= lt.Dies && t <= last; t++ {
+			dens[t]++
+		}
+	}
+	return dens[1:], nil
+}
+
+// MinRegisters returns the minimum number of registers needed by any valid
+// binding, i.e. the maximum lifetime density.
+func (g *Graph) MinRegisters() (int, error) {
+	dens, err := g.Density()
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, d := range dens {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// MaxCliqueSize returns, for each variable v, the size of the largest
+// conflict-graph clique containing v. For interval graphs this is the
+// maximum lifetime density over v's own occupancy interval. This is the
+// MCS(v) measure of the paper (Section III.A.1).
+func (g *Graph) MaxCliqueSize() (map[string]int, error) {
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return nil, err
+	}
+	dens, err := g.Density()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(lts))
+	for name, lt := range lts {
+		max := 0
+		for t := lt.Born + 1; t <= lt.Dies && t <= len(dens); t++ {
+			if dens[t-1] > max {
+				max = dens[t-1]
+			}
+		}
+		out[name] = max
+	}
+	return out, nil
+}
+
+// SortedVarNames returns all variable names sorted lexicographically.
+func (g *Graph) SortedVarNames() []string {
+	names := make([]string, 0, len(g.vars))
+	for _, v := range g.vars {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,70 @@
+package dfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Lifetime overlap is symmetric, irreflexive on nonempty intervals, and
+// agrees with the interval-intersection definition.
+func TestOverlapQuick(t *testing.T) {
+	norm := func(a, b int8) (int, int) {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return lo, hi + 1 // nonempty
+	}
+	sym := func(a1, b1, a2, b2 int8) bool {
+		l1b, l1d := norm(a1, b1)
+		l2b, l2d := norm(a2, b2)
+		x := Lifetime{"u", l1b, l1d}
+		y := Lifetime{"v", l2b, l2d}
+		if x.Overlaps(y) != y.Overlaps(x) {
+			return false
+		}
+		// Reference definition: some integer point t occupies both.
+		ref := false
+		for p := l1b + 1; p <= l1d; p++ {
+			if p > l2b && p <= l2d {
+				ref = true
+			}
+		}
+		return x.Overlaps(y) == ref
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Eval is deterministic and width-masking is sound: every value fits the
+// width.
+func TestEvalMaskQuick(t *testing.T) {
+	g := New("q")
+	g.AddInput("a", "b")
+	g.AddOp("o1", Mul, 1, "x", "a", "b")
+	g.AddOp("o2", Add, 2, "y", "x", "a")
+	g.MarkOutput("y")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint64, w uint8) bool {
+		width := int(w%16) + 1
+		in := map[string]uint64{"a": a, "b": b}
+		v1, err := g.Eval(in, width)
+		if err != nil {
+			return false
+		}
+		v2, _ := g.Eval(in, width)
+		mask := (uint64(1) << uint(width)) - 1
+		for _, val := range v1 {
+			if val&^mask != 0 {
+				return false
+			}
+		}
+		return v1["y"] == v2["y"]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package elab elaborates a bound data path (with an optional BIST plan)
+// into a gate-level netlist: word-level functional modules from the
+// gates macro library, one-hot input multiplexers, and test registers
+// whose LFSR/MISR structures are bit-identical to internal/bistgen. The
+// result makes area a literal gate count and supports true gate-level
+// stuck-at fault simulation of the synthesized BIST plan — the role the
+// USC BITS system played in the paper's evaluation.
+package elab
+
+import (
+	"fmt"
+
+	"bistpath/internal/area"
+	"bistpath/internal/bistgen"
+	"bistpath/internal/gates"
+)
+
+// TestRegister is the gate-level realization of one data-path register
+// in a given BIST style. Construction is two-phase: NewTestRegister
+// allocates the output ranks and control inputs (so the data path can be
+// wired from the Q buses), WireInput then builds the next-state logic
+// from the register's multiplexed data input.
+type TestRegister struct {
+	Name  string
+	Style area.Style
+	// Taps is the LFSR/MISR feedback polynomial this cell implements.
+	Taps uint64
+	// Q is the data output driving the data path (the TPG rank of a
+	// CBILBO).
+	Q []gates.Sig
+	// SigQ is the signature rank: Q itself for SA/BILBO, the shadow
+	// rank for a CBILBO, nil for Normal/TPG.
+	SigQ []gates.Sig
+	// Control inputs (gates.Zero when the style lacks the mode).
+	TPGEn gates.Sig
+	SAEn  gates.Sig
+
+	reg    *gates.FeedbackRegisterBus
+	shadow *gates.FeedbackRegisterBus
+	taps   uint64
+	wired  bool
+}
+
+// NewTestRegister allocates the register's state and control inputs,
+// using the width's primary polynomial.
+func NewTestRegister(n *gates.Netlist, name string, style area.Style, width int) (*TestRegister, error) {
+	taps, ok := bistgen.PrimitiveTaps(width)
+	if !ok && style != area.Normal {
+		return nil, fmt.Errorf("elab: no primitive polynomial for width %d", width)
+	}
+	return NewTestRegisterWithTaps(n, name, style, width, taps)
+}
+
+// NewTestRegisterWithTaps allocates the register's state and control
+// inputs with an explicit LFSR/MISR tap mask (the elaborator assigns
+// different primitive polynomials to registers that generate patterns
+// for the same module, avoiding correlated operand streams).
+func NewTestRegisterWithTaps(n *gates.Netlist, name string, style area.Style, width int, taps uint64) (*TestRegister, error) {
+	tr := &TestRegister{Name: name, Style: style, TPGEn: gates.Zero, SAEn: gates.Zero, Taps: taps, taps: taps}
+	tr.reg = n.NewFeedbackRegister(width)
+	tr.Q = tr.reg.Q
+	n.Name(name+".Q", tr.Q)
+	switch style {
+	case area.Normal:
+	case area.TPG:
+		tr.TPGEn = n.InputBus(name+".tpg", 1)[0]
+	case area.SA:
+		tr.SAEn = n.InputBus(name+".sa", 1)[0]
+		tr.SigQ = tr.Q
+	case area.BILBO:
+		tr.TPGEn = n.InputBus(name+".tpg", 1)[0]
+		tr.SAEn = n.InputBus(name+".sa", 1)[0]
+		tr.SigQ = tr.Q
+	case area.CBILBO:
+		tr.TPGEn = n.InputBus(name+".tpg", 1)[0]
+		tr.SAEn = n.InputBus(name+".sa", 1)[0]
+		tr.shadow = n.NewFeedbackRegister(width)
+		tr.SigQ = tr.shadow.Q
+		n.Name(name+".SIG", tr.shadow.Q)
+	default:
+		return nil, fmt.Errorf("elab: unknown style %v", style)
+	}
+	return tr, nil
+}
+
+// lfsrNextBits wires the next-state logic of the shared-polynomial LFSR:
+// next[0] = parity(q & taps), next[i] = q[i-1] — bit-identical to
+// bistgen.LFSR.Next.
+func lfsrNextBits(n *gates.Netlist, q []gates.Sig, taps uint64) []gates.Sig {
+	fb := gates.Zero
+	for i, s := range q {
+		if taps&(1<<uint(i)) != 0 {
+			if fb == gates.Zero {
+				fb = s
+			} else {
+				fb = n.Xor2(fb, s)
+			}
+		}
+	}
+	next := make([]gates.Sig, len(q))
+	next[0] = fb
+	for i := 1; i < len(q); i++ {
+		next[i] = q[i-1]
+	}
+	return next
+}
+
+// misrNextBits wires MISR next-state logic: lfsrNext(q) XOR d —
+// bit-identical to bistgen.MISR.Shift.
+func misrNextBits(n *gates.Netlist, q, d []gates.Sig, taps uint64) []gates.Sig {
+	nx := lfsrNextBits(n, q, taps)
+	out := make([]gates.Sig, len(q))
+	for i := range q {
+		out[i] = n.Xor2(nx[i], d[i])
+	}
+	return out
+}
+
+// WireInput builds the next-state logic. d is the register's data input
+// (after its input multiplexer); loadEn asserts a normal-mode load. Mode
+// priority when several are asserted: TPG, then SA, then load, then
+// hold; the controller asserts at most one.
+func (tr *TestRegister) WireInput(n *gates.Netlist, d []gates.Sig, loadEn gates.Sig) error {
+	if tr.wired {
+		return fmt.Errorf("elab: register %s wired twice", tr.Name)
+	}
+	tr.wired = true
+	next := n.MuxBus(loadEn, tr.Q, d) // hold vs load
+	switch tr.Style {
+	case area.Normal:
+	case area.TPG:
+		next = n.MuxBus(tr.TPGEn, next, lfsrNextBits(n, tr.Q, tr.taps))
+	case area.SA:
+		next = n.MuxBus(tr.SAEn, next, misrNextBits(n, tr.Q, d, tr.taps))
+	case area.BILBO:
+		next = n.MuxBus(tr.SAEn, next, misrNextBits(n, tr.Q, d, tr.taps))
+		next = n.MuxBus(tr.TPGEn, next, lfsrNextBits(n, tr.Q, tr.taps))
+	case area.CBILBO:
+		// The data rank generates patterns while the shadow rank
+		// concurrently compacts the responses arriving on d.
+		next = n.MuxBus(tr.TPGEn, next, lfsrNextBits(n, tr.Q, tr.taps))
+		shadowNext := n.MuxBus(tr.SAEn, tr.shadow.Q, misrNextBits(n, tr.shadow.Q, d, tr.taps))
+		tr.shadow.WireD(shadowNext, gates.One)
+	}
+	tr.reg.WireD(next, gates.One)
+	return nil
+}

@@ -1,0 +1,137 @@
+package elab
+
+import (
+	"strings"
+	"testing"
+
+	"bistpath/internal/benchdata"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/gates"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/regassign"
+)
+
+func buildWithController(t testing.TB, b *benchdata.Benchmark, withPlan bool) *Design {
+	t.Helper()
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regassign.Bind(b.Graph, mb, regassign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := interconnect.Bind(b.Graph, mb, rb, regassign.NewSharing(b.Graph, mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := datapath.Build(b.Graph, mb, rb, ib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan *bist.Plan
+	if withPlan {
+		plan, err = bist.Optimize(dp, bist.DefaultOptions(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := BuildWithOptions(dp, plan, BuildOptions{Controller: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// The self-timed design computes the DFG function from reset with only
+// the pads driven.
+func TestControllerSelfTimedMatchesDFG(t *testing.T) {
+	for _, b := range benchdata.All() {
+		d := buildWithController(t, b, false)
+		if !d.HasController {
+			t.Fatal("controller flag lost")
+		}
+		for s := uint64(1); s <= 6; s++ {
+			in := make(map[string]uint64)
+			for i, name := range b.Graph.Inputs() {
+				in[name] = (s*57 + uint64(i)*13) % 251
+			}
+			if err := d.CheckAgainstDFG(in); err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+		}
+	}
+}
+
+// With a BIST plan the controller-equipped design still works in normal
+// mode (test modes held off by external zeros).
+func TestControllerWithBISTPlanNormalMode(t *testing.T) {
+	b := benchdata.Ex1()
+	d := buildWithController(t, b, true)
+	if err := d.CheckAgainstDFG(map[string]uint64{"a": 9, "b": 8, "e": 7, "g": 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Normal-mode control signals must not be primary inputs of a
+// controller-equipped netlist.
+func TestControllerInternalizesControls(t *testing.T) {
+	b := benchdata.Ex1()
+	withCtl := buildWithController(t, b, false)
+	without := buildFor(t, b, false)
+	if len(withCtl.Net.Inputs) >= len(without.Net.Inputs) {
+		t.Errorf("controller design has %d inputs, controller-free has %d",
+			len(withCtl.Net.Inputs), len(without.Net.Inputs))
+	}
+	// Only pads remain as inputs (no BIST plan, so no tpg/sa pins).
+	if want := len(withCtl.Pads) * 8; len(withCtl.Net.Inputs) != want {
+		t.Errorf("controller design has %d input bits, want %d (pads only)",
+			len(withCtl.Net.Inputs), want)
+	}
+	if len(withCtl.StepCounter) == 0 {
+		t.Error("no step counter bus")
+	}
+}
+
+// The controller saturates at the final step: extra clocks after the
+// schedule keep the registers stable.
+func TestControllerSaturates(t *testing.T) {
+	b := benchdata.Ex1()
+	d := buildWithController(t, b, false)
+	in := map[string]uint64{"a": 3, "b": 4, "e": 5, "g": 6}
+	want, err := d.dp.Graph().Eval(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := newSim(t, d)
+	for pad, bus := range d.Pads {
+		sim.SetBus(bus, in[strings.TrimPrefix(pad, "in:")])
+	}
+	for i := 0; i < len(d.dp.Steps)+10; i++ { // overshoot by 10 clocks
+		sim.Step()
+	}
+	// h lives in some register; after saturation it must still be there.
+	got := sim.ReadBus(d.Net.Named("out:h"))
+	if got != want["h"] {
+		t.Errorf("after overshoot h = %d, want %d", got, want["h"])
+	}
+}
+
+// Gate-level test runs require the controller-free build.
+func TestControllerRejectsTestMode(t *testing.T) {
+	b := benchdata.Ex1()
+	d := buildWithController(t, b, true)
+	if _, err := d.RunModuleTest("M1", 10, 1, nil); err == nil {
+		t.Error("test run accepted on controller design")
+	}
+}
+
+func newSim(t testing.TB, d *Design) *gates.Sim {
+	t.Helper()
+	sim, err := gates.NewSim(d.Net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}

@@ -1,0 +1,35 @@
+package elab
+
+import (
+	"fmt"
+
+	"bistpath/internal/gates"
+	"bistpath/internal/testability"
+)
+
+// PredictCoverage runs COP testability analysis over a module's
+// functional cone (observed at its output bus, with the port values
+// treated as uniform random — the BIST embedding guarantees
+// pseudo-random streams there) and returns the expected stuck-at
+// coverage for the pattern budget, plus the list of
+// random-pattern-resistant faults (single-pattern detection probability
+// below 1/patterns). Orders of magnitude cheaper than GateCoverage, and
+// accurate enough to flag resistant modules (see internal/testability).
+func (d *Design) PredictCoverage(module string, patterns int) (float64, []gates.StuckAt, error) {
+	m, ok := d.Mods[module]
+	if !ok {
+		return 0, nil, fmt.Errorf("elab: unknown module %s", module)
+	}
+	an, err := testability.COP(d.Net, m.Out)
+	if err != nil {
+		return 0, nil, err
+	}
+	var faults []gates.StuckAt
+	for gi := m.FuncRegion.Lo; gi < m.FuncRegion.Hi; gi++ {
+		out := d.Net.Gates[gi].Out
+		faults = append(faults, gates.StuckAt{Sig: out, Value: false}, gates.StuckAt{Sig: out, Value: true})
+	}
+	cov := an.ExpectedCoverage(faults, patterns)
+	hard := an.HardFaults(faults, 1/float64(patterns))
+	return cov, hard, nil
+}

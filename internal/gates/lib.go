@@ -1,0 +1,266 @@
+package gates
+
+import "fmt"
+
+// This file is the arithmetic macro library: word-level operators built
+// from primitives. Buses are LSB-first slices of signals.
+
+// ConstBus returns a w-bit bus wired to the constant value.
+func (n *Netlist) ConstBus(w int, value uint64) []Sig {
+	bus := make([]Sig, w)
+	for i := 0; i < w; i++ {
+		if value&(1<<uint(i)) != 0 {
+			bus[i] = One
+		} else {
+			bus[i] = Zero
+		}
+	}
+	return bus
+}
+
+// fullAdder returns (sum, carry) of a+b+c, folding constants (a half
+// adder when c is constant zero, wires when two inputs are constant).
+func (n *Netlist) fullAdder(a, b, c Sig) (Sig, Sig) {
+	axb := n.XorF(a, b)
+	sum := n.XorF(axb, c)
+	carry := n.OrF(n.AndF(a, b), n.AndF(axb, c))
+	return sum, carry
+}
+
+// sumOnly returns just the sum bit of a+b+c (used at positions whose
+// carry would be discarded, so no dead carry logic is built).
+func (n *Netlist) sumOnly(a, b, c Sig) Sig {
+	return n.XorF(n.XorF(a, b), c)
+}
+
+// carryOnly returns just the carry bit of a+b+c (no sum gate).
+func (n *Netlist) carryOnly(a, b, c Sig) Sig {
+	return n.OrF(n.AndF(a, b), n.AndF(n.XorF(a, b), c))
+}
+
+// AddBus returns a+b+cin as (sum, carryOut); widths must match.
+func (n *Netlist) AddBus(a, b []Sig, cin Sig) ([]Sig, Sig) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("gates: AddBus width mismatch %d vs %d", len(a), len(b)))
+	}
+	sum := make([]Sig, len(a))
+	c := cin
+	for i := range a {
+		sum[i], c = n.fullAdder(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// AddBusNoCarry returns a+b+cin truncated to the bus width, without
+// building the dead top-carry logic.
+func (n *Netlist) AddBusNoCarry(a, b []Sig, cin Sig) []Sig {
+	if len(a) != len(b) {
+		panic("gates: AddBusNoCarry width mismatch")
+	}
+	sum := make([]Sig, len(a))
+	c := cin
+	for i := range a {
+		if i == len(a)-1 {
+			sum[i] = n.sumOnly(a[i], b[i], c)
+		} else {
+			sum[i], c = n.fullAdder(a[i], b[i], c)
+		}
+	}
+	return sum
+}
+
+// SubBus returns a-b as (difference, borrow): a + ~b + 1, with borrow =
+// NOT carryOut (borrow set iff a < b, unsigned).
+func (n *Netlist) SubBus(a, b []Sig) ([]Sig, Sig) {
+	nb := make([]Sig, len(b))
+	for i := range b {
+		nb[i] = n.NotF(b[i])
+	}
+	diff, cout := n.AddBus(a, nb, One)
+	return diff, n.NotF(cout)
+}
+
+// SubBusNoBorrow returns a-b without building the dead borrow logic.
+func (n *Netlist) SubBusNoBorrow(a, b []Sig) []Sig {
+	nb := make([]Sig, len(b))
+	for i := range b {
+		nb[i] = n.NotF(b[i])
+	}
+	return n.AddBusNoCarry(a, nb, One)
+}
+
+// LtBus returns the single-bit a < b (unsigned), built as a pure borrow
+// chain (no dead difference gates).
+func (n *Netlist) LtBus(a, b []Sig) Sig {
+	c := One
+	for i := range a {
+		c = n.carryOnly(a[i], n.NotF(b[i]), c)
+	}
+	return n.NotF(c)
+}
+
+// BitwiseBus applies a two-input kind bitwise.
+func (n *Netlist) BitwiseBus(k GateKind, a, b []Sig) []Sig {
+	if len(a) != len(b) {
+		panic("gates: BitwiseBus width mismatch")
+	}
+	out := make([]Sig, len(a))
+	for i := range a {
+		out[i] = n.gate(k, a[i], b[i])
+	}
+	return out
+}
+
+// MulBus returns the low len(a) bits of a*b (truncated array
+// multiplier: one partial-product row per multiplier bit, accumulated by
+// carry-propagate rows whose topmost carry — which would be discarded —
+// is never built).
+func (n *Netlist) MulBus(a, b []Sig) []Sig {
+	w := len(a)
+	acc := make([]Sig, w)
+	for j := 0; j < w; j++ {
+		acc[j] = n.AndF(a[j], b[0])
+	}
+	for i := 1; i < w; i++ {
+		c := Zero
+		for j := i; j < w; j++ {
+			pp := n.AndF(a[j-i], b[i])
+			if j == w-1 {
+				acc[j] = n.sumOnly(acc[j], pp, c)
+			} else {
+				acc[j], c = n.fullAdder(acc[j], pp, c)
+			}
+		}
+	}
+	return acc
+}
+
+// DivBus returns floor(a/b) for unsigned buses (restoring array
+// divider). Division by zero yields all ones, matching the behavioral
+// convention (every restoring step trivially succeeds). The remainder
+// invariantly fits the bus width (it is < max(b,1) after every stage),
+// so only w remainder bits are kept, and the final stage builds only its
+// borrow chain — no functionally dead logic is emitted.
+func (n *Netlist) DivBus(a, b []Sig) []Sig {
+	w := len(a)
+	q := make([]Sig, w)
+	r := make([]Sig, w)
+	for i := range r {
+		r[i] = Zero
+	}
+	nb := make([]Sig, w+1)
+	for i := range b {
+		nb[i] = n.NotF(b[i])
+	}
+	nb[w] = One // ~0 of the zero extension
+	for i := w - 1; i >= 0; i-- {
+		// shifted = (r << 1) | a[i], w+1 bits.
+		shifted := make([]Sig, w+1)
+		shifted[0] = a[i]
+		copy(shifted[1:], r)
+		last := i == 0
+		// t = shifted - b via shifted + ~b + 1; the top position needs
+		// only its carry, and the final stage needs no sums at all
+		// (its remainder is never used).
+		t := make([]Sig, w)
+		c := One
+		for j := 0; j <= w; j++ {
+			if j < w && !last {
+				t[j], c = n.fullAdder(shifted[j], nb[j], c)
+			} else {
+				c = n.carryOnly(shifted[j], nb[j], c)
+			}
+		}
+		ok := c // carry out set: no borrow, subtraction succeeded
+		q[i] = ok
+		if !last {
+			for j := 0; j < w; j++ {
+				r[j] = n.Mux2(ok, shifted[j], t[j])
+			}
+		}
+	}
+	return q
+}
+
+// MuxBus returns sel ? b : a, bitwise.
+func (n *Netlist) MuxBus(sel Sig, a, b []Sig) []Sig {
+	if len(a) != len(b) {
+		panic("gates: MuxBus width mismatch")
+	}
+	out := make([]Sig, len(a))
+	for i := range a {
+		out[i] = n.Mux2(sel, a[i], b[i])
+	}
+	return out
+}
+
+// OneHotMux selects among buses with one-hot select lines:
+// out = OR_i (sels[i] & buses[i]). With no select asserted the output is
+// zero; with several asserted the buses are ORed (callers guarantee
+// one-hot).
+func (n *Netlist) OneHotMux(sels []Sig, buses [][]Sig) []Sig {
+	if len(sels) != len(buses) || len(buses) == 0 {
+		panic("gates: OneHotMux arity mismatch")
+	}
+	w := len(buses[0])
+	out := n.ConstBus(w, 0)
+	for i, sel := range sels {
+		if len(buses[i]) != w {
+			panic("gates: OneHotMux width mismatch")
+		}
+		masked := make([]Sig, w)
+		for j := 0; j < w; j++ {
+			masked[j] = n.AndF(sel, buses[i][j])
+		}
+		for j := 0; j < w; j++ {
+			out[j] = n.OrF(out[j], masked[j])
+		}
+	}
+	return out
+}
+
+// EqConst returns a signal that is 1 iff bus == value.
+func (n *Netlist) EqConst(bus []Sig, value uint64) Sig {
+	acc := One
+	for i, s := range bus {
+		bit := s
+		if value&(1<<uint(i)) == 0 {
+			bit = n.NotF(s)
+		}
+		acc = n.AndF(acc, bit)
+	}
+	return acc
+}
+
+// RegisterBus builds a w-bit register with enable: Q <= EN ? D : Q.
+// The D bus may be wired later via the returned placeholder function
+// pattern; here D must already exist.
+func (n *Netlist) RegisterBus(d []Sig, en Sig) []Sig {
+	q := make([]Sig, len(d))
+	for i := range d {
+		q[i] = n.Dff(d[i], en)
+	}
+	return q
+}
+
+// FeedbackRegisterBus allocates the Q bus first so the caller can use it
+// in the logic computing D, then wires the flip-flops with WireD.
+type FeedbackRegisterBus struct {
+	Q []Sig
+	n *Netlist
+}
+
+// NewFeedbackRegister allocates a register whose inputs are wired later.
+func (n *Netlist) NewFeedbackRegister(w int) *FeedbackRegisterBus {
+	return &FeedbackRegisterBus{Q: n.Bus(w), n: n}
+}
+
+// WireD connects the register's data inputs and enable.
+func (f *FeedbackRegisterBus) WireD(d []Sig, en Sig) {
+	if len(d) != len(f.Q) {
+		panic("gates: feedback register width mismatch")
+	}
+	for i := range d {
+		f.n.DffAt(f.Q[i], d[i], en)
+	}
+}

@@ -1,0 +1,108 @@
+package gates
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Word-level identities on random operands: (a+b)-b == a,
+// a*b == b*a (mod 2^w), comparator trichotomy.
+func TestArithmeticIdentitiesQuick(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 8)
+	b := n.InputBus("b", 8)
+	sum, _ := n.AddBus(a, b, Zero)
+	back, _ := n.SubBus(sum, b)
+	ab := n.MulBus(a, b)
+	ba := n.MulBus(b, a)
+	lt := n.LtBus(a, b)
+	gt := n.LtBus(b, a)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, y uint8) bool {
+		sim.SetBus(a, uint64(x))
+		sim.SetBus(b, uint64(y))
+		sim.Eval()
+		if sim.ReadBus(back) != uint64(x) {
+			return false // (a+b)-b != a
+		}
+		if sim.ReadBus(ab) != sim.ReadBus(ba) {
+			return false // multiplication not commutative
+		}
+		l, g := sim.Get(lt), sim.Get(gt)
+		if x == y {
+			return !l && !g
+		}
+		return l != g
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Division identity: q = a/b satisfies q*b <= a < (q+1)*b for b != 0
+// (checked in full precision), and a/0 = all ones.
+func TestDivisionIdentityQuick(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 8)
+	b := n.InputBus("b", 8)
+	q := n.DivBus(a, b)
+	sim, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(x, y uint8) bool {
+		sim.SetBus(a, uint64(x))
+		sim.SetBus(b, uint64(y))
+		sim.Eval()
+		got := sim.ReadBus(q)
+		if y == 0 {
+			return got == 0xFF
+		}
+		return got == uint64(x)/uint64(y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A stuck-at fault on a signal never changes outputs while holding the
+// signal at its fault-free value (single-fault consistency).
+func TestFaultConsistencyQuick(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 6)
+	b := n.InputBus("b", 6)
+	out := n.MulBus(a, b)
+	n.OutputBus("p", out)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gatesList := n.Gates
+	prop := func(x, y uint8, gi uint16) bool {
+		g := gatesList[int(gi)%len(gatesList)]
+		sim.SetFault(nil)
+		sim.SetBus(a, uint64(x&0x3F))
+		sim.SetBus(b, uint64(y&0x3F))
+		sim.Eval()
+		good := sim.ReadBus(out)
+		val := sim.Get(g.Out)
+		// Stuck at the value the signal already has: outputs unchanged.
+		sim.SetFault(&StuckAt{Sig: g.Out, Value: val})
+		sim.Eval()
+		same := sim.ReadBus(out) == good
+		sim.SetFault(nil)
+		return same
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package graph
+
+import "sort"
+
+// CliquePartition partitions the vertices of a compatibility graph into
+// cliques using the classic greedy merging heuristic (Tseng & Siewiorek):
+// repeatedly merge the pair of clusters with the highest total
+// vertex-pair weight among pairs whose union still induces a clique,
+// until no pair can be merged. A nil weight treats all pairs as weight 1
+// (minimizing cluster count greedily). Ties are broken deterministically
+// by cluster contents.
+func (g *Undirected) CliquePartition(weight func(u, v string) int) [][]string {
+	if weight == nil {
+		weight = func(string, string) int { return 1 }
+	}
+	clusters := make([][]string, 0, g.NumVertices())
+	for _, v := range g.SortedVertices() {
+		clusters = append(clusters, []string{v})
+	}
+	compatible := func(a, b []string) bool {
+		for _, u := range a {
+			for _, v := range b {
+				if !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	pairWeight := func(a, b []string) int {
+		w := 0
+		for _, u := range a {
+			for _, v := range b {
+				w += weight(u, v)
+			}
+		}
+		return w
+	}
+	for {
+		bi, bj, bw := -1, -1, 0
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				if !compatible(clusters[i], clusters[j]) {
+					continue
+				}
+				w := pairWeight(clusters[i], clusters[j])
+				if bi == -1 || w > bw {
+					bi, bj, bw = i, j, w
+				}
+			}
+		}
+		if bi == -1 {
+			break
+		}
+		merged := append(append([]string(nil), clusters[bi]...), clusters[bj]...)
+		sort.Strings(merged)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+		clusters[bi] = merged
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i][0] < clusters[j][0] })
+	return clusters
+}
+
+// VerifyCliquePartition checks that the partition covers every vertex
+// exactly once and every cluster induces a clique.
+func (g *Undirected) VerifyCliquePartition(clusters [][]string) error {
+	seen := make(map[string]bool, g.NumVertices())
+	for _, c := range clusters {
+		if !g.IsClique(c) {
+			return errNotClique(c)
+		}
+		for _, v := range c {
+			if seen[v] {
+				return errDupVertex(v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, v := range g.Vertices() {
+		if !seen[v] {
+			return errMissingVertex(v)
+		}
+	}
+	return nil
+}
+
+type errNotClique []string
+
+func (e errNotClique) Error() string { return "cluster is not a clique: " + sjoin(e) }
+
+type errDupVertex string
+
+func (e errDupVertex) Error() string { return "vertex in multiple clusters: " + string(e) }
+
+type errMissingVertex string
+
+func (e errMissingVertex) Error() string { return "vertex missing from partition: " + string(e) }
+
+func sjoin(vs []string) string {
+	out := ""
+	for i, v := range vs {
+		if i > 0 {
+			out += ","
+		}
+		out += v
+	}
+	return out
+}

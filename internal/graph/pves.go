@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IsSimplicial reports whether v's neighborhood induces a clique.
+func (g *Undirected) IsSimplicial(v string) bool {
+	return g.IsClique(g.Neighbors(v))
+}
+
+// SimplicialVertices returns all simplicial vertices, sorted.
+func (g *Undirected) SimplicialVertices() []string {
+	var out []string
+	for _, v := range g.SortedVertices() {
+		if g.IsSimplicial(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PVES constructs a perfect vertex elimination scheme: an ordering
+// v1..vn such that each vi is simplicial in the subgraph induced by
+// {vi..vn}. At every step the simplicial vertex minimizing the supplied
+// priority is eliminated (ties broken lexicographically); this is the
+// hook the paper's register binder uses to prefer low-SD / low-MCS
+// variables early in the scheme (Section III.A.1).
+//
+// PVES fails (returns an error) iff the graph is not chordal.
+func (g *Undirected) PVES(priority func(v string) int) ([]string, error) {
+	if priority == nil {
+		priority = func(string) int { return 0 }
+	}
+	work := g.Clone()
+	scheme := make([]string, 0, g.NumVertices())
+	for work.NumVertices() > 0 {
+		simp := work.SimplicialVertices()
+		if len(simp) == 0 {
+			return nil, fmt.Errorf("graph is not chordal: no simplicial vertex among %d remaining", work.NumVertices())
+		}
+		best := simp[0]
+		for _, v := range simp[1:] {
+			if priority(v) < priority(best) {
+				best = v
+			}
+		}
+		scheme = append(scheme, best)
+		work.RemoveVertex(best)
+	}
+	return scheme, nil
+}
+
+// IsChordal reports whether the graph admits a perfect elimination scheme.
+func (g *Undirected) IsChordal() bool {
+	_, err := g.PVES(nil)
+	return err == nil
+}
+
+// VerifyPVES checks that the ordering is a valid perfect vertex
+// elimination scheme for g.
+func (g *Undirected) VerifyPVES(scheme []string) error {
+	if len(scheme) != g.NumVertices() {
+		return fmt.Errorf("scheme has %d vertices, graph has %d", len(scheme), g.NumVertices())
+	}
+	remaining := make(map[string]bool, len(scheme))
+	for _, v := range scheme {
+		if !g.HasVertex(v) {
+			return fmt.Errorf("scheme vertex %q not in graph", v)
+		}
+		if remaining[v] {
+			return fmt.Errorf("scheme repeats vertex %q", v)
+		}
+		remaining[v] = true
+	}
+	work := g.Clone()
+	for _, v := range scheme {
+		if !work.IsSimplicial(v) {
+			return fmt.Errorf("vertex %q is not simplicial at its elimination point", v)
+		}
+		work.RemoveVertex(v)
+	}
+	return nil
+}
+
+// MaximalCliquesChordal enumerates the maximal cliques of a chordal graph
+// using a perfect elimination scheme: each vertex v together with its
+// later-ordered neighbors forms a clique; the maximal ones among these are
+// exactly the maximal cliques of the graph.
+func (g *Undirected) MaximalCliquesChordal() ([][]string, error) {
+	scheme, err := g.PVES(nil)
+	if err != nil {
+		return nil, err
+	}
+	pos := make(map[string]int, len(scheme))
+	for i, v := range scheme {
+		pos[v] = i
+	}
+	var cands [][]string
+	for i, v := range scheme {
+		c := []string{v}
+		for _, u := range g.Neighbors(v) {
+			if pos[u] > i {
+				c = append(c, u)
+			}
+		}
+		sort.Strings(c)
+		cands = append(cands, c)
+	}
+	// Drop candidates strictly contained in another candidate.
+	var out [][]string
+	for i, c := range cands {
+		maximal := true
+		for j, d := range cands {
+			if i == j || len(c) > len(d) {
+				continue
+			}
+			if len(c) == len(d) && i < j {
+				continue // keep first of duplicates
+			}
+			if subset(c, d) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i]) < fmt.Sprint(out[j])
+	})
+	return out, nil
+}
+
+func subset(a, b []string) bool {
+	in := make(map[string]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCliquePerVertex returns, for each vertex, the size of the largest
+// maximal clique containing it (chordal graphs only).
+func (g *Undirected) MaxCliquePerVertex() (map[string]int, error) {
+	cliques, err := g.MaximalCliquesChordal()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, g.NumVertices())
+	for _, v := range g.Vertices() {
+		out[v] = 1
+	}
+	for _, c := range cliques {
+		for _, v := range c {
+			if len(c) > out[v] {
+				out[v] = len(c)
+			}
+		}
+	}
+	return out, nil
+}

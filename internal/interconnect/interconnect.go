@@ -1,0 +1,275 @@
+// Package interconnect binds data transfers to module ports and
+// multiplexers (Section IV of the paper). For every module the input
+// registers are partitioned into IR^L, IR^R and IR^LR (connected to the
+// left, right or both input ports). Minimum connectivity minimizes
+// |IR^LR| (Pangrle); the testability-weighted mode additionally prefers,
+// among minimum-mux solutions, those that place registers with high
+// sharing degrees on both ports, improving their chances of being chosen
+// as TPGs.
+package interconnect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+	"bistpath/internal/regassign"
+)
+
+// PadSource is the prefix of source identifiers that denote input pads
+// (port-fed inputs) rather than registers.
+const PadSource = "in:"
+
+// IsPad reports whether a source identifier denotes an input pad.
+func IsPad(src string) bool { return strings.HasPrefix(src, PadSource) }
+
+// SourceOf returns the physical source feeding the value of a variable: a
+// register name, or an input-pad identifier for port-fed inputs.
+func SourceOf(rb *regassign.Binding, g *dfg.Graph, varName string) string {
+	if v := g.Var(varName); v != nil && v.IsPort {
+		return PadSource + varName
+	}
+	return rb.RegisterOf(varName)
+}
+
+// Binding records, per operation, whether its two operands are swapped
+// with respect to the DFG argument order when wired to the module's left
+// and right ports.
+type Binding struct {
+	Swapped map[string]bool
+}
+
+// OperandSources returns the (left, right) source identifiers for an op
+// under this binding.
+func (ib *Binding) OperandSources(g *dfg.Graph, rb *regassign.Binding, op *dfg.Op) (left, right string) {
+	a := SourceOf(rb, g, op.Args[0])
+	b := a
+	if op.Binary() {
+		b = SourceOf(rb, g, op.Args[1])
+	}
+	if ib.Swapped[op.Name] {
+		return b, a
+	}
+	return a, b
+}
+
+// Bind chooses operand orientations. For each module the commutative
+// instances are oriented by exhaustive search (the per-module instance
+// count is small) minimizing, in order: total mux inputs over the two
+// ports, |IR^LR|, and — when sh is non-nil — maximizing the summed
+// sharing degree of registers connected to both ports. Non-commutative
+// instances keep their argument order.
+func Bind(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, sh *regassign.Sharing) (*Binding, error) {
+	ib := &Binding{Swapped: make(map[string]bool)}
+	for _, m := range mb.Modules {
+		if err := bindModule(g, m, rb, sh, ib); err != nil {
+			return nil, err
+		}
+	}
+	return ib, nil
+}
+
+func bindModule(g *dfg.Graph, m *modassign.Module, rb *regassign.Binding, sh *regassign.Sharing, ib *Binding) error {
+	type inst struct {
+		op   *dfg.Op
+		a, b string // source ids
+		comm bool
+	}
+	var insts []inst
+	for _, opName := range m.Ops {
+		op := g.Op(opName)
+		a := SourceOf(rb, g, op.Args[0])
+		b := a
+		if op.Binary() {
+			b = SourceOf(rb, g, op.Args[1])
+		}
+		if a == "" || b == "" {
+			return fmt.Errorf("interconnect: op %s has operand with no register", opName)
+		}
+		insts = append(insts, inst{op: op, a: a, b: b, comm: op.Kind.Commutative() && op.Binary()})
+	}
+	var free []int // indices of commutative instances with distinct sources
+	for i, in := range insts {
+		if in.comm && in.a != in.b {
+			free = append(free, i)
+		}
+	}
+	if len(free) > 20 {
+		return fmt.Errorf("interconnect: module %s has %d free instances (search cap exceeded)", m.Name, len(free))
+	}
+	type scoreT struct {
+		muxInputs int
+		lrCount   int
+		lrSD      int // negated preference: higher is better
+	}
+	better := func(x, y scoreT) bool {
+		if x.muxInputs != y.muxInputs {
+			return x.muxInputs < y.muxInputs
+		}
+		if x.lrCount != y.lrCount {
+			return x.lrCount < y.lrCount
+		}
+		return x.lrSD > y.lrSD
+	}
+	evaluate := func(mask int) scoreT {
+		left := make(map[string]bool)
+		right := make(map[string]bool)
+		for i, in := range insts {
+			a, b := in.a, in.b
+			for bit, fi := range free {
+				if fi == i && mask&(1<<uint(bit)) != 0 {
+					a, b = b, a
+				}
+			}
+			left[a] = true
+			if in.op.Binary() {
+				right[b] = true
+			}
+		}
+		var s scoreT
+		s.muxInputs = len(left) + len(right)
+		for src := range left {
+			if right[src] {
+				s.lrCount++
+				if sh != nil && !IsPad(src) {
+					if r := rb.Register(src); r != nil {
+						s.lrSD += sh.SDReg(r.Vars)
+					}
+				}
+			}
+		}
+		return s
+	}
+	bestMask, bestScore := 0, evaluate(0)
+	for mask := 1; mask < 1<<uint(len(free)); mask++ {
+		if s := evaluate(mask); better(s, bestScore) {
+			bestMask, bestScore = mask, s
+		}
+	}
+	for bit, fi := range free {
+		if bestMask&(1<<uint(bit)) != 0 {
+			ib.Swapped[insts[fi].op.Name] = true
+		}
+	}
+	return nil
+}
+
+// PortSources returns the distinct sources wired to the left and right
+// input ports of a module, sorted.
+func PortSources(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *Binding, module string) (left, right []string) {
+	m := mb.Module(module)
+	if m == nil {
+		return nil, nil
+	}
+	ls := make(map[string]bool)
+	rs := make(map[string]bool)
+	for _, opName := range m.Ops {
+		op := g.Op(opName)
+		l, r := ib.OperandSources(g, rb, op)
+		ls[l] = true
+		if op.Binary() {
+			rs[r] = true
+		}
+	}
+	return sortedKeys(ls), sortedKeys(rs)
+}
+
+// IRPartition is the partition of a module's input registers into the
+// sets connected to the left port only, the right port only, or both.
+type IRPartition struct {
+	L, R, LR []string
+}
+
+// InputRegisterPartition computes IR^L, IR^R and IR^LR for a module
+// (pads excluded: only registers participate in the partition).
+func InputRegisterPartition(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *Binding, module string) IRPartition {
+	left, right := PortSources(g, mb, rb, ib, module)
+	inL := make(map[string]bool)
+	for _, s := range left {
+		if !IsPad(s) {
+			inL[s] = true
+		}
+	}
+	inR := make(map[string]bool)
+	for _, s := range right {
+		if !IsPad(s) {
+			inR[s] = true
+		}
+	}
+	var p IRPartition
+	for s := range inL {
+		if inR[s] {
+			p.LR = append(p.LR, s)
+		} else {
+			p.L = append(p.L, s)
+		}
+	}
+	for s := range inR {
+		if !inL[s] {
+			p.R = append(p.R, s)
+		}
+	}
+	sort.Strings(p.L)
+	sort.Strings(p.R)
+	sort.Strings(p.LR)
+	return p
+}
+
+// RegisterSources returns the distinct sources that load each register:
+// producing modules of its variables plus input pads for primary-input
+// variables, sorted. Keyed by register name.
+func RegisterSources(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding) map[string][]string {
+	out := make(map[string][]string, len(rb.Registers))
+	for _, r := range rb.Registers {
+		set := make(map[string]bool)
+		for _, vn := range r.Vars {
+			v := g.Var(vn)
+			if v.IsInput {
+				set[PadSource+vn] = true
+			} else {
+				set[mb.ModuleOf(v.Def).Name] = true
+			}
+		}
+		out[r.Name] = sortedKeys(set)
+	}
+	return out
+}
+
+// Stats summarizes the interconnect of a bound data path.
+type Stats struct {
+	MuxCount  int // ports (module inputs + register inputs) with ≥2 sources
+	MuxInputs int // total extra mux inputs: Σ max(0, sources-1)
+	LRTotal   int // Σ over modules of |IR^LR|
+}
+
+// Measure computes interconnect statistics.
+func Measure(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *Binding) Stats {
+	var st Stats
+	count := func(n int) {
+		if n >= 2 {
+			st.MuxCount++
+			st.MuxInputs += n - 1
+		}
+	}
+	for _, m := range mb.Modules {
+		left, right := PortSources(g, mb, rb, ib, m.Name)
+		count(len(left))
+		count(len(right))
+		st.LRTotal += len(InputRegisterPartition(g, mb, rb, ib, m.Name).LR)
+	}
+	for _, srcs := range RegisterSources(g, mb, rb) {
+		count(len(srcs))
+	}
+	return st
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

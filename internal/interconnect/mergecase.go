@@ -1,0 +1,115 @@
+package interconnect
+
+import (
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+)
+
+// MergeCase classifies the effect of merging two variables into one
+// register on interconnect and BIST resources (Fig. 6 of the paper).
+type MergeCase int
+
+// The five merge situations of Fig. 6.
+const (
+	// MergeDistinct: different source modules and different destination
+	// modules — a mux appears (or grows) at the register input and the
+	// register fans out to more module ports, but the register can act
+	// as a shared test resource for more modules.
+	MergeDistinct MergeCase = iota + 1
+	// MergeChained: a source module of one variable is a destination
+	// module of the other — the register becomes self-adjacent to that
+	// module (a potential CBILBO).
+	MergeChained
+	// MergeCommonDest: one common destination module, different sources —
+	// the shared input port needs no extra mux input.
+	MergeCommonDest
+	// MergeCommonSource: one common source module, different destinations —
+	// the register input needs no extra mux input.
+	MergeCommonSource
+	// MergeCommonBoth: common source and common destination module — the
+	// cheapest merge, no new interconnect at all.
+	MergeCommonBoth
+)
+
+func (c MergeCase) String() string {
+	switch c {
+	case MergeDistinct:
+		return "case1: distinct sources and destinations"
+	case MergeChained:
+		return "case2: source of one is destination of the other"
+	case MergeCommonDest:
+		return "case3: common destination module"
+	case MergeCommonSource:
+		return "case4: common source module"
+	case MergeCommonBoth:
+		return "case5: common source and destination"
+	}
+	return "case?"
+}
+
+// MergeEffect quantifies a variable merge.
+type MergeEffect struct {
+	Case MergeCase
+	// NewRegisterSources is the number of extra sources the merged
+	// register's input mux acquires (0 or 1 for a two-variable merge).
+	NewRegisterSources int
+	// NewDestinations is the number of extra module destinations the
+	// merged register fans out to.
+	NewDestinations int
+	// SelfAdjacent reports whether the merged register would feed and
+	// latch the same module (the CBILBO hazard of Section III.B).
+	SelfAdjacent bool
+}
+
+// ClassifyMerge analyzes merging variables u and v into one register
+// under a module binding. Sources are producing modules (or input pads),
+// destinations are consuming modules.
+func ClassifyMerge(g *dfg.Graph, mb *modassign.Binding, u, v string) MergeEffect {
+	srcOf := func(name string) string {
+		vv := g.Var(name)
+		if vv.IsInput {
+			return PadSource + name
+		}
+		return mb.ModuleOf(vv.Def).Name
+	}
+	dstsOf := func(name string) map[string]bool {
+		out := make(map[string]bool)
+		for _, use := range g.Var(name).Uses {
+			out[mb.ModuleOf(use).Name] = true
+		}
+		return out
+	}
+	su, sv := srcOf(u), srcOf(v)
+	du, dv := dstsOf(u), dstsOf(v)
+	commonDest := false
+	for m := range du {
+		if dv[m] {
+			commonDest = true
+		}
+	}
+	eff := MergeEffect{}
+	if su != sv {
+		eff.NewRegisterSources = 1
+	}
+	for m := range dv {
+		if !du[m] {
+			eff.NewDestinations++
+		}
+	}
+	// Self-adjacency: the merged register holds an operand and the result
+	// of the same module.
+	eff.SelfAdjacent = dv[su] || du[sv]
+	switch {
+	case su == sv && commonDest:
+		eff.Case = MergeCommonBoth
+	case su == sv:
+		eff.Case = MergeCommonSource
+	case commonDest:
+		eff.Case = MergeCommonDest
+	case eff.SelfAdjacent:
+		eff.Case = MergeChained
+	default:
+		eff.Case = MergeDistinct
+	}
+	return eff
+}

@@ -1,0 +1,93 @@
+package interconnect
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+)
+
+// fig6Graph builds the demo graph used for the Figure 6 regeneration:
+// two adders chained on M1, two multiplies chained on M2.
+func fig6Graph(t *testing.T) (*dfg.Graph, *modassign.Binding) {
+	t.Helper()
+	g := dfg.New("fig6")
+	if err := g.AddInput("a", "b", "c", "d", "e", "f"); err != nil {
+		t.Fatal(err)
+	}
+	g.AddOp("o1", dfg.Add, 1, "s", "a", "b") // M1
+	g.AddOp("o2", dfg.Mul, 1, "t", "c", "d") // M2
+	g.AddOp("o3", dfg.Add, 2, "u", "s", "e") // M1
+	g.AddOp("o4", dfg.Mul, 2, "v", "t", "f") // M2
+	g.AddOp("o5", dfg.Add, 3, "w", "u", "v") // M1
+	g.MarkOutput("w")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mb, err := modassign.FromMap(g, map[string]string{
+		"o1": "M1", "o3": "M1", "o5": "M1", "o2": "M2", "o4": "M2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, mb
+}
+
+func TestClassifyMergeCases(t *testing.T) {
+	g, mb := fig6Graph(t)
+	cases := []struct {
+		u, v     string
+		want     MergeCase
+		selfAdj  bool
+		newSrcs  int
+		newDests int
+	}{
+		// s (M1->M1) + t (M2->M2): nothing shared.
+		{"s", "t", MergeDistinct, false, 1, 1},
+		// e (pad -> M1) + w (M1 -> nothing): chained through M1.
+		{"e", "w", MergeChained, true, 1, 0},
+		// a + b: both feed o1 on M1, different pads.
+		{"a", "b", MergeCommonDest, false, 1, 0},
+		// s + w: both produced by M1, different destinations.
+		{"s", "w", MergeCommonSource, true, 0, 0},
+		// s + u: both produced by and feeding M1.
+		{"s", "u", MergeCommonBoth, true, 0, 0},
+	}
+	for _, c := range cases {
+		eff := ClassifyMerge(g, mb, c.u, c.v)
+		if eff.Case != c.want {
+			t.Errorf("%s+%s: case %v, want %v", c.u, c.v, eff.Case, c.want)
+		}
+		if eff.SelfAdjacent != c.selfAdj {
+			t.Errorf("%s+%s: selfAdjacent %v, want %v", c.u, c.v, eff.SelfAdjacent, c.selfAdj)
+		}
+		if eff.NewRegisterSources != c.newSrcs {
+			t.Errorf("%s+%s: newSources %d, want %d", c.u, c.v, eff.NewRegisterSources, c.newSrcs)
+		}
+		if eff.NewDestinations != c.newDests {
+			t.Errorf("%s+%s: newDests %d, want %d", c.u, c.v, eff.NewDestinations, c.newDests)
+		}
+	}
+}
+
+func TestMergeCaseStrings(t *testing.T) {
+	for _, c := range []MergeCase{MergeDistinct, MergeChained, MergeCommonDest, MergeCommonSource, MergeCommonBoth} {
+		if c.String() == "case?" {
+			t.Errorf("case %d has no description", int(c))
+		}
+	}
+	if MergeCase(99).String() != "case?" {
+		t.Error("unknown case should print case?")
+	}
+}
+
+func TestClassifyMergeSymmetryOfSharedness(t *testing.T) {
+	g, mb := fig6Graph(t)
+	// The case classification is symmetric for the paired categories.
+	for _, p := range [][2]string{{"s", "t"}, {"a", "b"}, {"s", "u"}} {
+		x := ClassifyMerge(g, mb, p[0], p[1])
+		y := ClassifyMerge(g, mb, p[1], p[0])
+		if x.Case != y.Case || x.SelfAdjacent != y.SelfAdjacent {
+			t.Errorf("%s+%s asymmetric: %v vs %v", p[0], p[1], x, y)
+		}
+	}
+}

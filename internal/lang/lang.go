@@ -1,0 +1,354 @@
+// Package lang compiles small behavioral descriptions — assignment
+// statements over arithmetic/logic expressions — into data flow graphs,
+// so designs can be written the way the paper presents them
+// ("u1 = u - 3*x*u*dx - 3*y*dx") instead of as explicit op lists.
+//
+// Grammar (expressions are standard precedence-climbing):
+//
+//	program  := { stmt }
+//	stmt     := ident "=" expr
+//	expr     := cmp { ("&" | "|" | "^") cmp }
+//	cmp      := sum [ ("<" | ">") sum ]
+//	sum      := term { ("+" | "-") term }
+//	term     := factor { ("*" | "/") factor }
+//	factor   := ident | number | "(" expr ")"
+//
+// Every identifier read before it is assigned becomes a primary input;
+// every assigned identifier that is never read becomes a primary output;
+// integer literals become port-fed constant inputs (k<value>). Common
+// subexpressions are shared unless disabled, and the result is an
+// unscheduled DFG ready for the schedulers.
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"bistpath/internal/dfg"
+)
+
+// Options controls compilation.
+type Options struct {
+	// NoCSE disables common-subexpression sharing (each occurrence of a
+	// repeated expression gets its own operation, as in the classic
+	// un-optimized HAL benchmark where u*dx is computed twice).
+	NoCSE bool
+}
+
+// Compile parses the program text and builds the DFG.
+func Compile(name, program string, opts Options) (*dfg.Graph, error) {
+	c := &compiler{
+		g:     dfg.New(name),
+		opts:  opts,
+		exprs: make(map[string]string),
+		vars:  make(map[string]bool),
+	}
+	for ln, raw := range strings.Split(program, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if err := c.stmt(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if len(c.g.Ops()) == 0 {
+		return nil, fmt.Errorf("lang: no statements")
+	}
+	// Outputs: assigned names never read afterwards.
+	var outs []string
+	for _, v := range c.g.Vars() {
+		if !v.IsInput && len(v.Uses) == 0 {
+			outs = append(outs, v.Name)
+		}
+	}
+	if err := c.g.MarkOutput(outs...); err != nil {
+		return nil, err
+	}
+	if err := c.g.Validate(); err != nil {
+		return nil, err
+	}
+	return c.g, nil
+}
+
+type compiler struct {
+	g     *dfg.Graph
+	opts  Options
+	exprs map[string]string // canonical expression -> variable holding it
+	vars  map[string]bool   // declared variable names
+	nTmp  int
+	nOp   int
+
+	toks []token
+	pos  int
+}
+
+type token struct {
+	kind string // "ident", "num", "op", "(", ")"
+	text string
+}
+
+func (c *compiler) stmt(line string) error {
+	eq := strings.Index(line, "=")
+	if eq < 0 {
+		return fmt.Errorf("missing '=' in %q", line)
+	}
+	lhs := strings.TrimSpace(line[:eq])
+	if !isIdent(lhs) {
+		return fmt.Errorf("bad assignment target %q", lhs)
+	}
+	if c.vars[lhs] {
+		return fmt.Errorf("%q assigned twice (single-assignment form required)", lhs)
+	}
+	toks, err := lex(line[eq+1:])
+	if err != nil {
+		return err
+	}
+	c.toks, c.pos = toks, 0
+	val, err := c.expr()
+	if err != nil {
+		return err
+	}
+	if c.pos != len(c.toks) {
+		return fmt.Errorf("trailing input after expression: %q", c.toks[c.pos].text)
+	}
+	// Bind the final value to the target name: a fresh temporary is
+	// renamed; a value that is already referenced elsewhere (a CSE hit,
+	// or a bare earlier target) gets a duplicate of its defining
+	// operation so the new name has its own producer.
+	if v := c.g.Var(val); v != nil && v.Def != "" {
+		if strings.HasPrefix(val, "%") && len(v.Uses) == 0 {
+			return c.rename(val, lhs)
+		}
+		def := c.g.Op(v.Def)
+		c.nOp++
+		if err := c.g.AddOp(fmt.Sprintf("op%d", c.nOp), def.Kind, 0, lhs, def.Args...); err != nil {
+			return err
+		}
+		c.vars[lhs] = true
+		return nil
+	}
+	return fmt.Errorf("right-hand side of %q must contain an operator", lhs)
+}
+
+// rename rewrites a temporary variable name to its final name.
+func (c *compiler) rename(tmp, final string) error {
+	if err := c.g.Rename(tmp, final); err != nil {
+		return err
+	}
+	c.vars[final] = true
+	// Update the CSE table entry pointing at the temp.
+	for k, name := range c.exprs {
+		if name == tmp {
+			c.exprs[k] = final
+		}
+	}
+	return nil
+}
+
+func (c *compiler) expr() (string, error) { // & | ^
+	left, err := c.cmp()
+	if err != nil {
+		return "", err
+	}
+	for c.peek("&") || c.peek("|") || c.peek("^") {
+		op := c.next().text
+		right, err := c.cmp()
+		if err != nil {
+			return "", err
+		}
+		left, err = c.emit(dfg.Kind(op), left, right)
+		if err != nil {
+			return "", err
+		}
+	}
+	return left, nil
+}
+
+func (c *compiler) cmp() (string, error) {
+	left, err := c.sum()
+	if err != nil {
+		return "", err
+	}
+	if c.peek("<") || c.peek(">") {
+		op := c.next().text
+		right, err := c.sum()
+		if err != nil {
+			return "", err
+		}
+		return c.emit(dfg.Kind(op), left, right)
+	}
+	return left, nil
+}
+
+func (c *compiler) sum() (string, error) {
+	left, err := c.term()
+	if err != nil {
+		return "", err
+	}
+	for c.peek("+") || c.peek("-") {
+		op := c.next().text
+		right, err := c.term()
+		if err != nil {
+			return "", err
+		}
+		left, err = c.emit(dfg.Kind(op), left, right)
+		if err != nil {
+			return "", err
+		}
+	}
+	return left, nil
+}
+
+func (c *compiler) term() (string, error) {
+	left, err := c.factor()
+	if err != nil {
+		return "", err
+	}
+	for c.peek("*") || c.peek("/") {
+		op := c.next().text
+		right, err := c.factor()
+		if err != nil {
+			return "", err
+		}
+		left, err = c.emit(dfg.Kind(op), left, right)
+		if err != nil {
+			return "", err
+		}
+	}
+	return left, nil
+}
+
+func (c *compiler) factor() (string, error) {
+	if c.pos >= len(c.toks) {
+		return "", fmt.Errorf("unexpected end of expression")
+	}
+	t := c.next()
+	switch t.kind {
+	case "ident":
+		if !c.vars[t.text] {
+			if err := c.g.AddInput(t.text); err != nil {
+				return "", err
+			}
+			c.vars[t.text] = true
+		}
+		return t.text, nil
+	case "num":
+		name := "k" + t.text
+		if !c.vars[name] {
+			if err := c.g.AddInput(name); err != nil {
+				return "", err
+			}
+			if err := c.g.MarkPortInput(name); err != nil {
+				return "", err
+			}
+			c.vars[name] = true
+		}
+		return name, nil
+	case "(":
+		v, err := c.expr()
+		if err != nil {
+			return "", err
+		}
+		if c.pos >= len(c.toks) || c.toks[c.pos].kind != ")" {
+			return "", fmt.Errorf("missing ')'")
+		}
+		c.pos++
+		return v, nil
+	}
+	return "", fmt.Errorf("unexpected token %q", t.text)
+}
+
+// emit creates (or reuses, under CSE) an operation computing left∘right.
+func (c *compiler) emit(kind dfg.Kind, left, right string) (string, error) {
+	key := string(kind) + "\x00" + left + "\x00" + right
+	if kind.Commutative() && right < left {
+		key = string(kind) + "\x00" + right + "\x00" + left
+	}
+	if !c.opts.NoCSE {
+		if v, ok := c.exprs[key]; ok {
+			return v, nil
+		}
+	}
+	c.nTmp++
+	c.nOp++
+	res := fmt.Sprintf("%%t%d", c.nTmp)
+	opName := fmt.Sprintf("op%d", c.nOp)
+	if err := c.g.AddOp(opName, kind, 0, res, left, right); err != nil {
+		return "", err
+	}
+	c.vars[res] = true
+	if !c.opts.NoCSE {
+		c.exprs[key] = res
+	}
+	return res, nil
+}
+
+func (c *compiler) peek(text string) bool {
+	return c.pos < len(c.toks) && c.toks[c.pos].text == text
+}
+
+func (c *compiler) next() token {
+	t := c.toks[c.pos]
+	c.pos++
+	return t
+}
+
+func lex(s string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(s) {
+		r := rune(s[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case strings.ContainsRune("+-*/&|^<>", r):
+			out = append(out, token{"op", string(r)})
+			i++
+		case r == '(':
+			out = append(out, token{"(", "("})
+			i++
+		case r == ')':
+			out = append(out, token{")", ")"})
+			i++
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(s) && unicode.IsDigit(rune(s[j])) {
+				j++
+			}
+			if _, err := strconv.Atoi(s[i:j]); err != nil {
+				return nil, fmt.Errorf("bad number %q", s[i:j])
+			}
+			out = append(out, token{"num", s[i:j]})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			out = append(out, token{"ident", s[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected character %q", r)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty expression")
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+package lang
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/sched"
+)
+
+func TestCompileSimple(t *testing.T) {
+	g, err := Compile("demo", `
+		# sum of products
+		p = a * b + c * d
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Ops()); got != 3 {
+		t.Errorf("got %d ops, want 3", got)
+	}
+	vals, err := g.Eval(map[string]uint64{"a": 2, "b": 3, "c": 4, "d": 5}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["p"] != 26 {
+		t.Errorf("p = %d, want 26", vals["p"])
+	}
+	if outs := g.Outputs(); len(outs) != 1 || outs[0] != "p" {
+		t.Errorf("outputs = %v", outs)
+	}
+}
+
+func TestPrecedenceAndParens(t *testing.T) {
+	g, err := Compile("prec", "r = a + b * c - (a + b) / d\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := map[string]uint64{"a": 10, "b": 2, "c": 5, "d": 3}
+	vals, err := g.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 + 10 - 12/3 = 16
+	if vals["r"] != 16 {
+		t.Errorf("r = %d, want 16", vals["r"])
+	}
+}
+
+func TestConstantsBecomePortInputs(t *testing.T) {
+	g, err := Compile("c", "y = 3 * x + 7\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"k3", "k7"} {
+		v := g.Var(name)
+		if v == nil || !v.IsInput || !v.IsPort {
+			t.Errorf("constant %s not a port input", name)
+		}
+	}
+	vals, err := g.Eval(map[string]uint64{"x": 5, "k3": 3, "k7": 7}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["y"] != 22 {
+		t.Errorf("y = %d, want 22", vals["y"])
+	}
+}
+
+func TestCSE(t *testing.T) {
+	// u*dx appears as a subexpression in both statements (parenthesized
+	// in the first so the parse trees match).
+	src := `
+		u1 = u - (u * dx) * x
+		y1 = y + u * dx
+	`
+	with, err := Compile("cse", src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Compile("nocse", src, Options{NoCSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with.Ops()) >= len(without.Ops()) {
+		t.Errorf("CSE did not reduce ops: %d vs %d", len(with.Ops()), len(without.Ops()))
+	}
+	// Both compute the same function.
+	in := map[string]uint64{"u": 20, "x": 1, "y": 2, "dx": 1}
+	a, err := with.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := without.Eval(in, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []string{"u1", "y1"} {
+		if a[o] != b[o] {
+			t.Errorf("%s differs: %d vs %d", o, a[o], b[o])
+		}
+	}
+}
+
+func TestCSECommutativeCanonicalization(t *testing.T) {
+	g, err := Compile("comm", "p = a * b + b * a\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a*b and b*a share one multiply under CSE.
+	muls := 0
+	for _, o := range g.Ops() {
+		if o.Kind == dfg.Mul {
+			muls++
+		}
+	}
+	if muls != 1 {
+		t.Errorf("got %d multiplies, want 1 (commutative CSE)", muls)
+	}
+}
+
+// The full HAL benchmark statement set compiles and synthesizes end to
+// end through scheduling.
+func TestCompileDiffEq(t *testing.T) {
+	g, err := Compile("hal", `
+		x1 = x + dx
+		u1 = u - 3 * x * u * dx - 3 * y * dx
+		y1 = y + u * dx
+		c  = x1 < a
+	`, Options{NoCSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := sched.ListSchedule(g, sched.Limits{dfg.Mul: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Apply(g, steps); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := g.Eval(map[string]uint64{"x": 1, "u": 6, "y": 2, "dx": 1, "a": 9, "k3": 3}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["x1"] != 2 || vals["y1"] != 8 || vals["c"] != 1 {
+		t.Errorf("diffeq values wrong: %v %v %v", vals["x1"], vals["y1"], vals["c"])
+	}
+	if want := uint64(65536 - 18); vals["u1"] != want {
+		t.Errorf("u1 = %d, want %d", vals["u1"], want)
+	}
+	// NoCSE keeps the classic duplicated u*dx: 6 multiplies.
+	muls := 0
+	for _, o := range g.Ops() {
+		if o.Kind == dfg.Mul {
+			muls++
+		}
+	}
+	if muls != 6 {
+		t.Errorf("got %d multiplies, classic HAL has 6", muls)
+	}
+}
+
+func TestMultipleOutputsAndChaining(t *testing.T) {
+	g, err := Compile("mo", `
+		t = a + b
+		p = t * c
+		q = t - c
+	`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := g.Outputs()
+	if len(outs) != 2 {
+		t.Errorf("outputs = %v, want p and q", outs)
+	}
+	vals, _ := g.Eval(map[string]uint64{"a": 1, "b": 2, "c": 4}, 8)
+	if vals["p"] != 12 || vals["q"] != 255 {
+		t.Errorf("p=%d q=%d", vals["p"], vals["q"])
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",                      // no statements
+		"x + y",                 // missing =
+		"1x = a + b",            // bad target
+		"x = a + b\nx = a - b",  // double assignment
+		"x = a +",               // dangling operator
+		"x = (a + b",            // missing paren
+		"x = a $ b",             // bad char
+		"x = a",                 // no operator
+		"x = a + b extra_ident", // hmm: parses as trailing token
+	}
+	for _, src := range bad {
+		if _, err := Compile("bad", src, Options{}); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestLogicalAndComparisonOps(t *testing.T) {
+	g, err := Compile("logic", "r = (a & b) | (a ^ b)\ns = a < b\nq = a > b\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := g.Eval(map[string]uint64{"a": 12, "b": 10}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["r"] != (12&10)|(12^10) {
+		t.Errorf("r = %d", vals["r"])
+	}
+	if vals["s"] != 0 || vals["q"] != 1 {
+		t.Errorf("s=%d q=%d", vals["s"], vals["q"])
+	}
+}

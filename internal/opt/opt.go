@@ -1,0 +1,363 @@
+// Package opt provides behavioral-level optimization passes over data
+// flow graphs, applied before scheduling: dead-code elimination,
+// identity simplification against literal constants, and tree-height
+// reduction (rebalancing chains of associative operations to shorten the
+// critical path). All passes are semantics-preserving rewrites that
+// return a fresh unscheduled graph.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bistpath/internal/dfg"
+)
+
+// DeadCode removes operations whose results are transitively unused
+// (feed neither a primary output nor a live operation) and inputs that
+// end up unreferenced. It returns the rewritten graph and the number of
+// operations removed.
+func DeadCode(g *dfg.Graph) (*dfg.Graph, int, error) {
+	live := make(map[string]bool) // live variables
+	var mark func(varName string)
+	mark = func(varName string) {
+		if live[varName] {
+			return
+		}
+		live[varName] = true
+		v := g.Var(varName)
+		if v.Def == "" {
+			return
+		}
+		for _, a := range g.Op(v.Def).Args {
+			mark(a)
+		}
+	}
+	for _, o := range g.Outputs() {
+		mark(o)
+	}
+	out := dfg.New(g.Name)
+	for _, v := range g.Vars() {
+		if v.IsInput && live[v.Name] {
+			if err := out.AddInput(v.Name); err != nil {
+				return nil, 0, err
+			}
+			if v.IsPort {
+				if err := out.MarkPortInput(v.Name); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	removed := 0
+	for _, op := range g.Ops() {
+		if !live[op.Result] {
+			removed++
+			continue
+		}
+		if err := out.AddOp(op.Name, op.Kind, op.Step, op.Result, op.Args...); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := out.MarkOutput(g.Outputs()...); err != nil {
+		return nil, 0, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return out, removed, nil
+}
+
+// constValue recognizes the lang convention for literal constants: a
+// port input named k<value>.
+func constValue(g *dfg.Graph, varName string) (uint64, bool) {
+	v := g.Var(varName)
+	if v == nil || !v.IsPort || !strings.HasPrefix(varName, "k") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(varName[1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Simplify applies algebraic identities against literal constants:
+//
+//	x*1 -> x    x+0 -> x    x-0 -> x    x/1 -> x
+//	x*0 -> 0    0*x -> 0    x&0 -> 0    x|0 -> x    x^0 -> x
+//
+// Operations whose results are primary outputs are kept (an output must
+// be produced by an operation), and a simplification that would leave
+// the graph without any operation is skipped. Dead code exposed by the
+// rewrites is eliminated. Returns the rewritten graph and the number of
+// operations simplified away.
+func Simplify(g *dfg.Graph) (*dfg.Graph, int, error) {
+	subst := make(map[string]string) // result var -> replacement var
+	resolve := func(name string) string {
+		for {
+			r, ok := subst[name]
+			if !ok {
+				return name
+			}
+			name = r
+		}
+	}
+	isOut := make(map[string]bool)
+	for _, o := range g.Outputs() {
+		isOut[o] = true
+	}
+	simplified := 0
+	out := dfg.New(g.Name)
+	for _, v := range g.Vars() {
+		if v.IsInput {
+			if err := out.AddInput(v.Name); err != nil {
+				return nil, 0, err
+			}
+			if v.IsPort {
+				if err := out.MarkPortInput(v.Name); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	kept := 0
+	for _, op := range g.Ops() {
+		a := resolve(op.Args[0])
+		b := ""
+		if op.Binary() {
+			b = resolve(op.Args[1])
+		}
+		if !isOut[op.Result] && op.Binary() {
+			if rep, ok := simplifyOp(g, op.Kind, a, b); ok {
+				subst[op.Result] = rep
+				simplified++
+				continue
+			}
+		}
+		args := []string{a}
+		if op.Binary() {
+			args = append(args, b)
+		}
+		if err := out.AddOp(op.Name, op.Kind, op.Step, op.Result, args...); err != nil {
+			return nil, 0, err
+		}
+		kept++
+	}
+	if kept == 0 {
+		return nil, 0, fmt.Errorf("opt: simplification would remove every operation")
+	}
+	if err := out.MarkOutput(g.Outputs()...); err != nil {
+		return nil, 0, err
+	}
+	cleaned, _, err := DeadCode(out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cleaned, simplified, nil
+}
+
+// simplifyOp returns the replacement variable for an identity, if any.
+func simplifyOp(g *dfg.Graph, kind dfg.Kind, a, b string) (string, bool) {
+	av, aConst := constValue(g, a)
+	bv, bConst := constValue(g, b)
+	switch kind {
+	case dfg.Mul:
+		if bConst && bv == 1 {
+			return a, true
+		}
+		if aConst && av == 1 {
+			return b, true
+		}
+		if (bConst && bv == 0) || (aConst && av == 0) {
+			if aConst && av == 0 {
+				return a, true
+			}
+			return b, true
+		}
+	case dfg.Add, dfg.Or, dfg.Xor:
+		if bConst && bv == 0 {
+			return a, true
+		}
+		if aConst && av == 0 {
+			return b, true
+		}
+	case dfg.Sub:
+		if bConst && bv == 0 {
+			return a, true
+		}
+	case dfg.Div:
+		if bConst && bv == 1 {
+			return a, true
+		}
+	case dfg.And:
+		if bConst && bv == 0 {
+			return b, true
+		}
+		if aConst && av == 0 {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+// Balance rebalances chains of associative same-kind operations
+// (+, *, &, |, ^) into trees, shortening the dependency depth (and hence
+// the minimum schedule latency). Only chain links whose intermediate
+// results have a single consumer and are not primary outputs are
+// restructured. The result is unscheduled. Returns the rewritten graph
+// and the number of chains rebalanced.
+func Balance(g *dfg.Graph) (*dfg.Graph, int, error) {
+	assoc := func(k dfg.Kind) bool {
+		switch k {
+		case dfg.Add, dfg.Mul, dfg.And, dfg.Or, dfg.Xor:
+			return true
+		}
+		return false
+	}
+	isOut := make(map[string]bool)
+	for _, o := range g.Outputs() {
+		isOut[o] = true
+	}
+	// absorbable: op result feeds exactly one consumer of the same kind
+	// and is not an output.
+	absorbable := func(varName string, kind dfg.Kind) bool {
+		v := g.Var(varName)
+		if v == nil || v.Def == "" || isOut[varName] || len(v.Uses) != 1 {
+			return false
+		}
+		return g.Op(v.Def).Kind == kind
+	}
+	absorbed := make(map[string]bool) // op names folded into a chain
+	type chain struct {
+		root   *dfg.Op
+		leaves []string
+	}
+	var chains []chain
+	// Roots: associative ops not themselves absorbable into a consumer.
+	for _, op := range g.Ops() {
+		if !assoc(op.Kind) || absorbable(op.Result, op.Kind) {
+			continue
+		}
+		var leaves []string
+		size := 0
+		var flatten func(varName string)
+		flatten = func(varName string) {
+			if absorbable(varName, op.Kind) {
+				def := g.Op(g.Var(varName).Def)
+				absorbed[def.Name] = true
+				size++
+				flatten(def.Args[0])
+				flatten(def.Args[1])
+				return
+			}
+			leaves = append(leaves, varName)
+		}
+		if !assoc(op.Kind) {
+			continue
+		}
+		flatten(op.Args[0])
+		flatten(op.Args[1])
+		if size > 0 {
+			chains = append(chains, chain{root: op, leaves: leaves})
+			absorbed[op.Name] = true
+		}
+	}
+	if len(chains) == 0 {
+		return g.Clone(), 0, nil
+	}
+	out := dfg.New(g.Name)
+	for _, v := range g.Vars() {
+		if v.IsInput {
+			if err := out.AddInput(v.Name); err != nil {
+				return nil, 0, err
+			}
+			if v.IsPort {
+				if err := out.MarkPortInput(v.Name); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	// Emit in dependency order: untouched ops as-is, chains as balanced
+	// trees once all their leaves exist.
+	nTmp := 0
+	emitted := make(map[string]bool)
+	ready := func(args []string) bool {
+		for _, a := range args {
+			if out.Var(a) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	pendingOps := []*dfg.Op{}
+	for _, op := range g.Ops() {
+		if !absorbed[op.Name] {
+			pendingOps = append(pendingOps, op)
+		}
+	}
+	pendingChains := append([]chain(nil), chains...)
+	for len(pendingOps)+len(pendingChains) > 0 {
+		progress := false
+		var nextOps []*dfg.Op
+		for _, op := range pendingOps {
+			if !ready(op.Args) {
+				nextOps = append(nextOps, op)
+				continue
+			}
+			if err := out.AddOp(op.Name, op.Kind, 0, op.Result, op.Args...); err != nil {
+				return nil, 0, err
+			}
+			emitted[op.Name] = true
+			progress = true
+		}
+		pendingOps = nextOps
+		var nextChains []chain
+		for _, ch := range pendingChains {
+			if !ready(ch.leaves) {
+				nextChains = append(nextChains, ch)
+				continue
+			}
+			// Balanced reduction over the leaves.
+			level := append([]string(nil), ch.leaves...)
+			sort.Strings(level) // deterministic shape
+			for len(level) > 1 {
+				var next []string
+				for i := 0; i+1 < len(level); i += 2 {
+					var res string
+					if len(level) == 2 {
+						res = ch.root.Result
+					} else {
+						nTmp++
+						res = fmt.Sprintf("%%b%d", nTmp)
+					}
+					nTmp++
+					opName := fmt.Sprintf("bal%d", nTmp)
+					if err := out.AddOp(opName, ch.root.Kind, 0, res, level[i], level[i+1]); err != nil {
+						return nil, 0, err
+					}
+					next = append(next, res)
+				}
+				if len(level)%2 == 1 {
+					next = append(next, level[len(level)-1])
+				}
+				level = next
+			}
+			progress = true
+		}
+		pendingChains = nextChains
+		if !progress {
+			return nil, 0, fmt.Errorf("opt: balance ordering stuck")
+		}
+	}
+	if err := out.MarkOutput(g.Outputs()...); err != nil {
+		return nil, 0, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return out, len(chains), nil
+}

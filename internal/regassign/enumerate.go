@@ -1,0 +1,94 @@
+package regassign
+
+import (
+	"fmt"
+
+	"bistpath/internal/dfg"
+)
+
+// EnumerateMinimumBindings enumerates every register binding that uses
+// the minimum number of registers, as set partitions (each partition
+// produced exactly once: a variable may open a new class only when all
+// earlier classes have been tried, the standard canonical-order scheme).
+// The paper quotes this count for its running example: "There are 108
+// distinct assignments of the variables in E to three registers."
+//
+// Enumeration stops after `limit` partitions (0 = no limit) so callers
+// can sample large spaces; the bool result reports whether the
+// enumeration was complete.
+func EnumerateMinimumBindings(g *dfg.Graph, limit int) ([][][]string, bool, error) {
+	min, err := g.MinRegisters()
+	if err != nil {
+		return nil, false, err
+	}
+	conf, err := g.Conflicts()
+	if err != nil {
+		return nil, false, err
+	}
+	vars := g.AllocVars()
+	var out [][][]string
+	complete := true
+	classes := make([][]string, 0, min)
+
+	var rec func(i int) bool // returns false to abort (limit hit)
+	rec = func(i int) bool {
+		if i == len(vars) {
+			if len(classes) == min {
+				snap := make([][]string, len(classes))
+				for k, c := range classes {
+					snap[k] = append([]string(nil), c...)
+				}
+				out = append(out, snap)
+				if limit > 0 && len(out) >= limit {
+					return false
+				}
+			}
+			return true
+		}
+		v := vars[i]
+		// Prune: remaining variables cannot open enough new classes.
+		if len(classes)+(len(vars)-i) < min {
+			return true
+		}
+		for ci := range classes {
+			ok := true
+			for _, u := range classes[ci] {
+				if conf[v][u] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			classes[ci] = append(classes[ci], v)
+			if !rec(i + 1) {
+				classes[ci] = classes[ci][:len(classes[ci])-1]
+				return false
+			}
+			classes[ci] = classes[ci][:len(classes[ci])-1]
+		}
+		if len(classes) < min {
+			classes = append(classes, []string{v})
+			if !rec(i + 1) {
+				classes = classes[:len(classes)-1]
+				return false
+			}
+			classes = classes[:len(classes)-1]
+		}
+		return true
+	}
+	if !rec(0) {
+		complete = false
+	}
+	return out, complete, nil
+}
+
+// BindingFromPartition wraps a partition as a validated Binding.
+func BindingFromPartition(g *dfg.Graph, partition [][]string) (*Binding, error) {
+	b := FromSets(partition)
+	if err := b.Validate(g); err != nil {
+		return nil, fmt.Errorf("regassign: partition invalid: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,484 @@
+package regassign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bistpath/internal/dfg"
+	"bistpath/internal/graph"
+	"bistpath/internal/modassign"
+)
+
+// Register is one allocated register and the variables bound to it.
+type Register struct {
+	Name string
+	Vars []string // sorted
+}
+
+// Binding is a complete variable→register map (a partition of the
+// variables into non-conflicting sets).
+type Binding struct {
+	Registers []*Register
+	byVar     map[string]string
+}
+
+// RegisterOf returns the name of the register holding v ("" if unbound).
+func (b *Binding) RegisterOf(v string) string { return b.byVar[v] }
+
+// Register returns the named register, or nil.
+func (b *Binding) Register(name string) *Register {
+	for _, r := range b.Registers {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Sets returns the variable sets of the registers, in register order.
+func (b *Binding) Sets() [][]string {
+	out := make([][]string, len(b.Registers))
+	for i, r := range b.Registers {
+		out[i] = append([]string(nil), r.Vars...)
+	}
+	return out
+}
+
+// NumRegisters returns the register count.
+func (b *Binding) NumRegisters() int { return len(b.Registers) }
+
+func (b *Binding) String() string {
+	var sb strings.Builder
+	for i, r := range b.Registers {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s={%s}", r.Name, strings.Join(r.Vars, ","))
+	}
+	return sb.String()
+}
+
+// Validate checks that the binding is a partition of the graph's
+// variables and that no register holds two conflicting variables.
+func (b *Binding) Validate(g *dfg.Graph) error {
+	conf, err := g.Conflicts()
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	for _, r := range b.Registers {
+		for i, u := range r.Vars {
+			if g.Var(u) == nil {
+				return fmt.Errorf("regassign: register %s holds unknown variable %q", r.Name, u)
+			}
+			if seen[u] {
+				return fmt.Errorf("regassign: variable %q bound twice", u)
+			}
+			seen[u] = true
+			if b.byVar[u] != r.Name {
+				return fmt.Errorf("regassign: index inconsistent for %q", u)
+			}
+			for _, v := range r.Vars[i+1:] {
+				if conf[u][v] {
+					return fmt.Errorf("regassign: register %s holds conflicting variables %q and %q", r.Name, u, v)
+				}
+			}
+		}
+	}
+	for _, v := range g.Vars() {
+		if v.IsPort {
+			if seen[v.Name] {
+				return fmt.Errorf("regassign: port input %q must not be register-bound", v.Name)
+			}
+			continue
+		}
+		if !seen[v.Name] {
+			return fmt.Errorf("regassign: variable %q unbound", v.Name)
+		}
+	}
+	return nil
+}
+
+// FromSets builds a Binding from ordered variable sets, naming the
+// registers R1, R2, ... in order. Callers (e.g. the baseline allocators)
+// must Validate the result against the graph.
+func FromSets(sets [][]string) *Binding {
+	b := &Binding{byVar: make(map[string]string)}
+	for i, set := range sets {
+		r := &Register{Name: fmt.Sprintf("R%d", i+1), Vars: append([]string(nil), set...)}
+		sort.Strings(r.Vars)
+		b.Registers = append(b.Registers, r)
+		for _, v := range r.Vars {
+			b.byVar[v] = r.Name
+		}
+	}
+	return b
+}
+
+// Options toggle the individual mechanisms of the paper's binder; all
+// true reproduces the full algorithm, individual flags support the
+// ablation experiments.
+type Options struct {
+	SharingDegree    bool // SD/MCS-ordered PVES and ΔSD-guided coloring (Section III.A)
+	CaseOverrides    bool // Case 1 / Case 2 diversion to consolidating registers
+	AvoidCBILBO      bool // Lemma 2 forced-CBILBO avoidance (Section III.B)
+	InterconnectTies bool // break remaining ties by estimated mux cost (Section IV)
+}
+
+// DefaultOptions enables every mechanism (the paper's configuration).
+func DefaultOptions() Options {
+	return Options{SharingDegree: true, CaseOverrides: true, AvoidCBILBO: true, InterconnectTies: true}
+}
+
+// Traditional binds variables to the minimum number of registers with no
+// testability consideration: optimal chordal coloring of the conflict
+// graph in reverse perfect-elimination order (the "traditional HLS"
+// baseline of Table I).
+func Traditional(g *dfg.Graph) (*Binding, error) {
+	cg, err := conflictGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	colors, err := cg.OptimalChordalColor()
+	if err != nil {
+		return nil, err
+	}
+	b := FromSets(graph.ColorClasses(colors))
+	return b, b.Validate(g)
+}
+
+// Bind runs the paper's register binder for the given module binding.
+func Bind(g *dfg.Graph, mb *modassign.Binding, opts Options) (*Binding, error) {
+	return bindInternal(g, mb, opts, nil)
+}
+
+// bindInternal is Bind with an optional decision trace collector.
+func bindInternal(g *dfg.Graph, mb *modassign.Binding, opts Options, trace *[]Decision) (*Binding, error) {
+	cg, err := conflictGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	sh := NewSharing(g, mb)
+	mcs, err := g.MaxCliqueSize()
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. PVES selection (Section III.A.1): eliminate low-SD, low-MCS
+	// variables first so that high-SD variables are colored first (in
+	// reverse order) while flexibility is maximal.
+	names := g.AllocVars()
+	rank := make(map[string]int, len(names))
+	ordered := append([]string(nil), names...)
+	if opts.SharingDegree {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			si, sj := sh.SDVar(ordered[i]), sh.SDVar(ordered[j])
+			if si != sj {
+				return si < sj
+			}
+			if mcs[ordered[i]] != mcs[ordered[j]] {
+				return mcs[ordered[i]] < mcs[ordered[j]]
+			}
+			return ordered[i] < ordered[j]
+		})
+	}
+	for i, v := range ordered {
+		rank[v] = i
+	}
+	scheme, err := cg.PVES(func(v string) int { return rank[v] })
+	if err != nil {
+		return nil, fmt.Errorf("regassign: conflict graph of %q is not an interval graph: %v", g.Name, err)
+	}
+
+	// 2. Color in reverse PVES order (Section III.A.2).
+	conf, err := g.Conflicts()
+	if err != nil {
+		return nil, err
+	}
+	ic := newInterconnectEstimator(g, mb)
+	minRegs, err := g.MinRegisters()
+	if err != nil {
+		return nil, err
+	}
+	var regs [][]string
+	for i := len(scheme) - 1; i >= 0; i-- {
+		v := scheme[i]
+		d := Decision{Index: len(scheme) - i, Var: v, SD: sh.SDVar(v)}
+		cands := candidateRegisters(conf, regs, v)
+		d.Candidates = append([]int(nil), cands...)
+		if len(cands) == 0 {
+			d.NewRegister = true
+			d.Chosen = len(regs)
+			if trace != nil {
+				describe(&d, regs)
+				*trace = append(*trace, d)
+			}
+			regs = append(regs, []string{v})
+			continue
+		}
+		choice := chooseRegister(g, mb, sh, ic, regs, cands, v, minRegs, opts, &d)
+		if choice < 0 {
+			// Every candidate would force a CBILBO (Lemma 2) and the
+			// register budget is not yet exhausted: open a fresh register.
+			// A singleton register can never itself be forced, and the
+			// design needs at least minRegs registers regardless.
+			d.NewRegister = true
+			d.Chosen = len(regs)
+			if trace != nil {
+				describe(&d, regs)
+				*trace = append(*trace, d)
+			}
+			regs = append(regs, []string{v})
+			continue
+		}
+		d.Chosen = choice
+		d.DeltaSD = sh.DeltaSD(regs[choice], v)
+		if trace != nil {
+			describe(&d, regs)
+			*trace = append(*trace, d)
+		}
+		regs[choice] = append(regs[choice], v)
+	}
+	b := FromSets(regs)
+	return b, b.Validate(g)
+}
+
+// candidateRegisters returns indices of registers with no variable
+// conflicting with v.
+func candidateRegisters(conf map[string]map[string]bool, regs [][]string, v string) []int {
+	var out []int
+	for i, r := range regs {
+		ok := true
+		for _, u := range r {
+			if conf[v][u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// chooseRegister implements the coloring decision for one vertex:
+// primary ΔSD ranking, Case 1 / Case 2 diversion, and Lemma-2 CBILBO
+// avoidance. It returns -1 when every candidate would force a CBILBO and
+// allocating a fresh register stays within the minimum register budget.
+func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interconnectEstimator,
+	regs [][]string, cands []int, v string, minRegs int, opts Options, d *Decision) int {
+
+	// Primary ranking: maximize ΔSD, then SD(R), then minimize estimated
+	// interconnect cost, then lowest index (the left-edge default).
+	ranked := append([]int(nil), cands...)
+	if opts.SharingDegree {
+		sort.SliceStable(ranked, func(a, b int) bool {
+			ia, ib := ranked[a], ranked[b]
+			da, db := sh.DeltaSD(regs[ia], v), sh.DeltaSD(regs[ib], v)
+			if da != db {
+				return da > db
+			}
+			sa, sb := sh.SDReg(regs[ia]), sh.SDReg(regs[ib])
+			if sa != sb {
+				return sa > sb
+			}
+			if opts.InterconnectTies {
+				ca, cb := ic.score(regs[ia], v), ic.score(regs[ib], v)
+				if ca != cb {
+					return ca < cb
+				}
+			}
+			return ia < ib
+		})
+	}
+	primary := ranked[0]
+
+	// Case 1 / Case 2 diversion (Section III.A.2): prefer a register that
+	// already shares the module's output set (Case 1) or one of the two
+	// registers already covering its input set (Case 2), when that
+	// register's established sharing degree exceeds what the primary
+	// choice would reach.
+	if opts.SharingDegree && opts.CaseOverrides {
+		if div := diversionSet(g, sh, ic, regs, cands, v, primary); len(div) > 0 {
+			ranked = append(div, removeAll(ranked, div)...)
+			if d != nil && ranked[0] != primary {
+				d.Diverted = true
+			}
+		}
+	}
+
+	// Lemma-2 avoidance (Section III.B): take the best-ranked candidate
+	// that does not increase the number of forced-CBILBO modules; if all
+	// do, allow the assignment (paper: avoided only when possible without
+	// an extra register).
+	if opts.AvoidCBILBO {
+		base := ForcedCount(g, mb, regs)
+		for _, r := range ranked {
+			trial := make([][]string, len(regs))
+			copy(trial, regs)
+			trial[r] = append(append([]string(nil), regs[r]...), v)
+			if ForcedCount(g, mb, trial) <= base {
+				return r
+			}
+			if d != nil {
+				d.Lemma2Skips++
+			}
+		}
+		if len(regs) < minRegs {
+			return -1 // open a fresh register: free within the budget
+		}
+	}
+	return ranked[0]
+}
+
+// diversionSet computes the Case 1 / Case 2 candidate registers for v,
+// ordered by (ΔSD desc, interconnect asc, SD(R,v) desc, index).
+func diversionSet(g *dfg.Graph, sh *Sharing, ic *interconnectEstimator,
+	regs [][]string, cands []int, v string, primary int) []int {
+
+	sdPrimary := sh.SDRegWith(regs[primary], v)
+	isCand := make(map[int]bool, len(cands))
+	for _, c := range cands {
+		isCand[c] = true
+	}
+	set := make(map[int]bool)
+
+	// Case 1: v is an output variable of module Mj and some candidate
+	// register already holds an output variable of Mj.
+	for _, m := range sh.OutputModules(v) {
+		for _, r := range sh.RegsTouchingOutput(regs, m) {
+			if r != primary && isCand[r] && sh.SDReg(regs[r]) > sdPrimary {
+				set[r] = true
+			}
+		}
+	}
+	// Case 2: v is an input variable of Mj; because operators are binary
+	// the diversion applies only when two registers already hold input
+	// variables of Mj (the module's TPG pair already exists).
+	for _, m := range sh.InputModules(v) {
+		touching := sh.RegsTouchingInput(regs, m)
+		if len(touching) < 2 {
+			continue
+		}
+		for _, r := range touching {
+			if r != primary && isCand[r] && sh.SDReg(regs[r]) > sdPrimary {
+				set[r] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ia, ib := out[a], out[b]
+		da, db := sh.DeltaSD(regs[ia], v), sh.DeltaSD(regs[ib], v)
+		if da != db {
+			return da > db
+		}
+		ca, cb := ic.score(regs[ia], v), ic.score(regs[ib], v)
+		if ca != cb {
+			return ca < cb
+		}
+		sa, sb := sh.SDRegWith(regs[ia], v), sh.SDRegWith(regs[ib], v)
+		if sa != sb {
+			return sa > sb
+		}
+		return ia < ib
+	})
+	return out
+}
+
+func removeAll(list, drop []int) []int {
+	in := make(map[int]bool, len(drop))
+	for _, d := range drop {
+		in[d] = true
+	}
+	var out []int
+	for _, x := range list {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// interconnectEstimator scores the mux-cost effect of merging a variable
+// into a register: the number of new data sources plus new destinations
+// the register's physical port would acquire (the Fig. 6 analysis).
+type interconnectEstimator struct {
+	srcOf map[string]string   // var -> producing module name or "in:<v>"
+	dstOf map[string][]string // var -> consuming module names (+ "out")
+}
+
+func newInterconnectEstimator(g *dfg.Graph, mb *modassign.Binding) *interconnectEstimator {
+	ic := &interconnectEstimator{
+		srcOf: make(map[string]string),
+		dstOf: make(map[string][]string),
+	}
+	for _, v := range g.Vars() {
+		if v.IsInput {
+			ic.srcOf[v.Name] = "in:" + v.Name
+		} else {
+			ic.srcOf[v.Name] = mb.ModuleOf(v.Def).Name
+		}
+		seen := make(map[string]bool)
+		for _, u := range v.Uses {
+			m := mb.ModuleOf(u).Name
+			if !seen[m] {
+				seen[m] = true
+				ic.dstOf[v.Name] = append(ic.dstOf[v.Name], m)
+			}
+		}
+		if v.IsOutput {
+			ic.dstOf[v.Name] = append(ic.dstOf[v.Name], "out")
+		}
+	}
+	return ic
+}
+
+// score returns the number of new sources and destinations v adds to the
+// register holding vars (0 = Fig. 6 case 5, the cheapest merge).
+func (ic *interconnectEstimator) score(vars []string, v string) int {
+	srcs := make(map[string]bool)
+	dsts := make(map[string]bool)
+	for _, u := range vars {
+		srcs[ic.srcOf[u]] = true
+		for _, d := range ic.dstOf[u] {
+			dsts[d] = true
+		}
+	}
+	cost := 0
+	if !srcs[ic.srcOf[v]] {
+		cost++
+	}
+	for _, d := range ic.dstOf[v] {
+		if !dsts[d] {
+			cost++
+		}
+	}
+	return cost
+}
+
+func conflictGraph(g *dfg.Graph) (*graph.Undirected, error) {
+	conf, err := g.Conflicts()
+	if err != nil {
+		return nil, err
+	}
+	cg := graph.NewUndirected()
+	for _, v := range g.AllocVars() {
+		cg.AddVertex(v)
+	}
+	for u, nbrs := range conf {
+		for v := range nbrs {
+			cg.AddEdge(u, v)
+		}
+	}
+	return cg, nil
+}
+
+// ConflictGraph exposes the variable conflict graph (used by reporting
+// and the Fig. 4 regeneration).
+func ConflictGraph(g *dfg.Graph) (*graph.Undirected, error) { return conflictGraph(g) }

@@ -1,0 +1,115 @@
+package regassign
+
+import (
+	"reflect"
+	"testing"
+
+	"bistpath/internal/benchdata"
+)
+
+func ex1Sharing(t *testing.T) (*Sharing, *benchdata.Benchmark) {
+	t.Helper()
+	b := benchdata.Ex1()
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSharing(b.Graph, mb), b
+}
+
+// The paper's worked example (Section III.A.2) fixes SD values on ex1:
+// SD({c}) = 2, SD({d}) = 2, SD({c},f) = 4 so ΔSD = 2, SD({d},f) = 3 so
+// ΔSD = 1.
+func TestSDPaperExample(t *testing.T) {
+	sh, _ := ex1Sharing(t)
+	if got := sh.SDReg([]string{"c"}); got != 2 {
+		t.Errorf("SD({c}) = %d, want 2", got)
+	}
+	if got := sh.SDReg([]string{"d"}); got != 2 {
+		t.Errorf("SD({d}) = %d, want 2", got)
+	}
+	if got := sh.SDRegWith([]string{"c"}, "f"); got != 4 {
+		t.Errorf("SD({c},f) = %d, want 4", got)
+	}
+	if got := sh.DeltaSD([]string{"c"}, "f"); got != 2 {
+		t.Errorf("ΔSD^f({c}) = %d, want 2", got)
+	}
+	if got := sh.SDRegWith([]string{"d"}, "f"); got != 3 {
+		t.Errorf("SD({d},f) = %d, want 3", got)
+	}
+	if got := sh.DeltaSD([]string{"d"}, "f"); got != 1 {
+		t.Errorf("ΔSD^f({d}) = %d, want 1", got)
+	}
+}
+
+func TestSDVar(t *testing.T) {
+	sh, _ := ex1Sharing(t)
+	// d is input of M1 (operand of add2) and output of M1 (result of
+	// add1): SD = 2. a is only an input of M1: SD = 1. h is only an
+	// output of M2: SD = 1.
+	want := map[string]int{"a": 1, "b": 1, "c": 2, "d": 2, "e": 1, "f": 2, "g": 1, "h": 1}
+	for v, w := range want {
+		if got := sh.SDVar(v); got != w {
+			t.Errorf("SD(%s) = %d, want %d", v, got, w)
+		}
+	}
+}
+
+func TestSDRegUnionSemantics(t *testing.T) {
+	sh, _ := ex1Sharing(t)
+	// Definition 5 is an OR, not a sum: two inputs of the same module in
+	// one register count once.
+	if got := sh.SDReg([]string{"a", "b"}); got != 1 {
+		t.Errorf("SD({a,b}) = %d, want 1 (both only inputs of M1)", got)
+	}
+	// Full register: every flag set = 2 modules × (in+out) = 4 max.
+	if got := sh.SDReg([]string{"a", "c", "f", "h"}); got != 4 {
+		t.Errorf("SD({a,c,f,h}) = %d, want 4", got)
+	}
+}
+
+func TestInputOutputModules(t *testing.T) {
+	sh, _ := ex1Sharing(t)
+	if got := sh.InputModules("d"); !reflect.DeepEqual(got, []string{"M1"}) {
+		t.Errorf("InputModules(d) = %v", got)
+	}
+	if got := sh.OutputModules("d"); !reflect.DeepEqual(got, []string{"M1"}) {
+		t.Errorf("OutputModules(d) = %v", got)
+	}
+	if got := sh.OutputModules("a"); got != nil {
+		t.Errorf("OutputModules(a) = %v, want none", got)
+	}
+	if got := sh.InputModules("g"); !reflect.DeepEqual(got, []string{"M2"}) {
+		t.Errorf("InputModules(g) = %v", got)
+	}
+}
+
+func TestRegsTouching(t *testing.T) {
+	sh, _ := ex1Sharing(t)
+	regs := [][]string{{"a"}, {"g"}, {"h"}}
+	if got := sh.RegsTouchingInput(regs, "M1"); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("RegsTouchingInput(M1) = %v", got)
+	}
+	if got := sh.RegsTouchingInput(regs, "M2"); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("RegsTouchingInput(M2) = %v", got)
+	}
+	if got := sh.RegsTouchingOutput(regs, "M2"); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("RegsTouchingOutput(M2) = %v", got)
+	}
+}
+
+// ΔSD is monotone: merging more variables never lowers a register's SD.
+func TestSDMonotone(t *testing.T) {
+	sh, b := ex1Sharing(t)
+	vars := b.Graph.AllocVars()
+	for _, v := range vars {
+		for _, w := range vars {
+			if v == w {
+				continue
+			}
+			if sh.SDRegWith([]string{v}, w) < sh.SDReg([]string{v}) {
+				t.Errorf("SD({%s},%s) < SD({%s})", v, w, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bistpath/internal/datapath"
+)
+
+// Gantt renders an ASCII occupancy chart of a bound data path: one row
+// per register showing which variable it holds at every control step,
+// and one row per module showing the operation it executes. The chart
+// makes register reuse and module utilization visible at a glance.
+func Gantt(dp *datapath.Datapath) (string, error) {
+	g := dp.Graph()
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return "", err
+	}
+	steps := 0
+	for _, lt := range lts {
+		if lt.Dies > steps {
+			steps = lt.Dies
+		}
+	}
+	colW := 1
+	for _, v := range g.Vars() {
+		if len(v.Name) > colW {
+			colW = len(v.Name)
+		}
+	}
+	for _, st := range dp.Steps {
+		for _, mo := range st.Ops {
+			if len(mo.Op) > colW {
+				colW = len(mo.Op)
+			}
+		}
+	}
+	cell := func(s string) string { return fmt.Sprintf(" %-*s", colW, s) }
+
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-6s", ""))
+	for t := 1; t <= steps; t++ {
+		sb.WriteString(cell(fmt.Sprintf("s%d", t)))
+	}
+	sb.WriteString("\n")
+
+	// Register rows: the variable occupying the register during step t.
+	regNames := make([]string, 0, len(dp.Regs))
+	for _, r := range dp.Regs {
+		regNames = append(regNames, r.Name)
+	}
+	sort.Strings(regNames)
+	for _, rn := range regNames {
+		r := dp.Register(rn)
+		sb.WriteString(fmt.Sprintf("%-6s", rn))
+		for t := 1; t <= steps; t++ {
+			occ := "."
+			for _, vn := range r.Vars {
+				lt := lts[vn]
+				if lt.Born < t && t <= lt.Dies {
+					occ = vn
+					break
+				}
+			}
+			sb.WriteString(cell(occ))
+		}
+		sb.WriteString("\n")
+	}
+	// Module rows: the op running at step t.
+	modNames := make([]string, 0, len(dp.Modules))
+	for _, m := range dp.Modules {
+		modNames = append(modNames, m.Name)
+	}
+	sort.Strings(modNames)
+	for _, mn := range modNames {
+		sb.WriteString(fmt.Sprintf("%-6s", mn))
+		for t := 1; t <= steps; t++ {
+			occ := "."
+			if t < len(dp.Steps) {
+				for _, mo := range dp.Steps[t].Ops {
+					if mo.Module == mn {
+						occ = mo.Op
+					}
+				}
+			}
+			sb.WriteString(cell(occ))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}

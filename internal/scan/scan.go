@@ -1,0 +1,82 @@
+// Package scan models the full-scan design-for-test alternative the
+// paper's introduction positions BIST against: every register gets a
+// scan multiplexer and patterns are shifted in serially from a tester.
+// The model supports the area/test-time tradeoff experiment — scan is
+// cheaper in silicon but orders of magnitude slower per pattern, which
+// is the economic argument for spending area on BIST registers.
+package scan
+
+import (
+	"bistpath/internal/area"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+)
+
+// Plan is a full-scan test configuration for a data path.
+type Plan struct {
+	Registers  int // registers converted to scan flip-flops
+	ChainBits  int // total scan chain length (registers * width)
+	ExtraArea  int // gate equivalents added by scan muxes
+	CyclesScan int // test cycles for the pattern budget (serial shifting)
+}
+
+// scanMuxBitArea is the per-bit cost of converting a D flip-flop into a
+// scan flip-flop (one 2:1 multiplexer in front of D).
+func scanMuxBitArea(m area.Model) int { return m.MuxBitPerInput }
+
+// Build converts every register of the data path to scan and costs the
+// test: each of `patterns` test patterns requires shifting the full
+// chain in (ChainBits cycles), one capture cycle, and shifting the
+// response out (overlapped with the next shift-in).
+func Build(dp *datapath.Datapath, m area.Model, patterns int) *Plan {
+	p := &Plan{Registers: len(dp.Regs)}
+	p.ChainBits = p.Registers * dp.Width
+	p.ExtraArea = p.Registers * scanMuxBitArea(m) * dp.Width
+	p.CyclesScan = patterns*(p.ChainBits+1) + p.ChainBits // final shift-out
+	return p
+}
+
+// Comparison contrasts full scan with a synthesized BIST plan at the
+// same pattern budget.
+type Comparison struct {
+	Scan Plan
+	// BISTExtraArea is the register-upgrade area of the BIST plan.
+	BISTExtraArea int
+	// BISTCycles is the BIST test time: per session, one seed scan-in of
+	// the chain plus one clock per pattern per module operation mode.
+	BISTCycles int
+	// Sessions is the BIST session count.
+	Sessions int
+}
+
+// Compare builds the scan alternative and costs the given BIST plan.
+func Compare(dp *datapath.Datapath, plan *bist.Plan, m area.Model, patterns int) Comparison {
+	c := Comparison{
+		Scan:          *Build(dp, m, patterns),
+		BISTExtraArea: plan.ExtraArea,
+		Sessions:      len(plan.Sessions),
+	}
+	modes := 0
+	for _, mod := range dp.Modules {
+		modes += len(mod.Kinds)
+	}
+	seedIn := len(dp.Regs) * dp.Width // one scan load of seeds per session
+	c.BISTCycles = len(plan.Sessions)*seedIn + modes*patterns
+	return c
+}
+
+// AreaRatio returns BIST extra area / scan extra area.
+func (c Comparison) AreaRatio() float64 {
+	if c.Scan.ExtraArea == 0 {
+		return 0
+	}
+	return float64(c.BISTExtraArea) / float64(c.Scan.ExtraArea)
+}
+
+// SpeedUp returns scan test cycles / BIST test cycles.
+func (c Comparison) SpeedUp() float64 {
+	if c.BISTCycles == 0 {
+		return 0
+	}
+	return float64(c.Scan.CyclesScan) / float64(c.BISTCycles)
+}

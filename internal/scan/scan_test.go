@@ -1,0 +1,92 @@
+package scan
+
+import (
+	"testing"
+
+	"bistpath/internal/area"
+	"bistpath/internal/benchdata"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/regassign"
+)
+
+func buildPlan(t *testing.T, name string) (*datapath.Datapath, *bist.Plan) {
+	t.Helper()
+	b := benchdata.ByName(name)
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regassign.Bind(b.Graph, mb, regassign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := interconnect.Bind(b.Graph, mb, rb, regassign.NewSharing(b.Graph, mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := datapath.Build(b.Graph, mb, rb, ib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := bist.Optimize(dp, bist.DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp, plan
+}
+
+func TestBuildScan(t *testing.T) {
+	dp, _ := buildPlan(t, "ex1")
+	m := area.Default(8)
+	p := Build(dp, m, 250)
+	if p.Registers != 3 || p.ChainBits != 24 {
+		t.Errorf("scan plan %+v", p)
+	}
+	if p.ExtraArea != 3*8*m.MuxBitPerInput {
+		t.Errorf("scan area %d", p.ExtraArea)
+	}
+	// 250 patterns * (24+1) shift/capture + final shift-out.
+	if p.CyclesScan != 250*25+24 {
+		t.Errorf("scan cycles %d", p.CyclesScan)
+	}
+}
+
+func TestCompareTradeoff(t *testing.T) {
+	for _, name := range []string{"ex1", "ex2", "tseng1", "tseng2", "paulin"} {
+		dp, plan := buildPlan(t, name)
+		c := Compare(dp, plan, area.Default(8), 250)
+		// The economics the paper's introduction assumes: scan is cheaper
+		// in area, BIST is much faster. Paulin is the interesting
+		// exception: its port-fed inputs provide free pattern sources
+		// (I-paths from primary inputs), so its BIST plan is cheaper
+		// than full scan in area too.
+		if name != "paulin" && c.BISTExtraArea <= c.Scan.ExtraArea {
+			t.Errorf("%s: BIST area %d not above scan %d (model broken)", name, c.BISTExtraArea, c.Scan.ExtraArea)
+		}
+		if name == "paulin" && c.BISTExtraArea >= c.Scan.ExtraArea {
+			t.Errorf("paulin: pad-head BIST (%d) should undercut scan (%d)", c.BISTExtraArea, c.Scan.ExtraArea)
+		}
+		if c.SpeedUp() < 4 {
+			t.Errorf("%s: BIST speedup %.1fx implausibly low", name, c.SpeedUp())
+		}
+		if c.Sessions < 1 || c.BISTCycles <= 0 {
+			t.Errorf("%s: malformed comparison %+v", name, c)
+		}
+	}
+}
+
+func TestRatios(t *testing.T) {
+	c := Comparison{Scan: Plan{ExtraArea: 100, CyclesScan: 10000}, BISTExtraArea: 300, BISTCycles: 500}
+	if c.AreaRatio() != 3.0 {
+		t.Errorf("AreaRatio = %v", c.AreaRatio())
+	}
+	if c.SpeedUp() != 20.0 {
+		t.Errorf("SpeedUp = %v", c.SpeedUp())
+	}
+	z := Comparison{}
+	if z.AreaRatio() != 0 || z.SpeedUp() != 0 {
+		t.Error("zero guards failed")
+	}
+}

@@ -1,0 +1,195 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"bistpath/internal/dfg"
+)
+
+// ForceDirected schedules the graph into at most `latency` steps with
+// Paulin & Knight's force-directed scheduling: operations are fixed one
+// at a time at the (op, step) choice with the lowest total force, where
+// force measures how much the assignment raises the expected concurrency
+// (distribution graph) of the op's kind, including the indirect effect
+// on predecessors and successors whose mobility shrinks. FDS minimizes
+// peak resource usage under a latency constraint — the classic
+// complement to the list scheduler's resource-constrained formulation.
+func ForceDirected(g *dfg.Graph, latency int) (map[string]int, error) {
+	asap, err := ASAP(g)
+	if err != nil {
+		return nil, err
+	}
+	if cp := Length(asap); latency < cp {
+		return nil, fmt.Errorf("sched: latency %d below critical path %d", latency, cp)
+	}
+	alap, err := ALAP(g, latency)
+	if err != nil {
+		return nil, err
+	}
+	type window struct{ es, ls int }
+	win := make(map[string]window, len(g.Ops()))
+	for _, o := range g.Ops() {
+		win[o.Name] = window{asap[o.Name], alap[o.Name]}
+	}
+	// Dependency maps.
+	preds := make(map[string][]string)
+	succs := make(map[string][]string)
+	for _, o := range g.Ops() {
+		for _, a := range o.Args {
+			v := g.Var(a)
+			if v.Def != "" {
+				preds[o.Name] = append(preds[o.Name], v.Def)
+				succs[v.Def] = append(succs[v.Def], o.Name)
+			}
+		}
+	}
+	fixed := make(map[string]int, len(g.Ops()))
+
+	// dg computes the distribution graph for a kind at a step under the
+	// current windows.
+	dg := func(kind dfg.Kind, t int) float64 {
+		sum := 0.0
+		for _, o := range g.Ops() {
+			if o.Kind != kind {
+				continue
+			}
+			w := win[o.Name]
+			if t >= w.es && t <= w.ls {
+				sum += 1.0 / float64(w.ls-w.es+1)
+			}
+		}
+		return sum
+	}
+	avgDG := func(kind dfg.Kind, es, ls int) float64 {
+		if ls < es {
+			return 0
+		}
+		sum := 0.0
+		for t := es; t <= ls; t++ {
+			sum += dg(kind, t)
+		}
+		return sum / float64(ls-es+1)
+	}
+	// selfForce: concentrating the op at t versus its spread-out
+	// distribution.
+	selfForce := func(o *dfg.Op, t int) float64 {
+		w := win[o.Name]
+		return dg(o.Kind, t) - avgDG(o.Kind, w.es, w.ls)
+	}
+	// neighborForce: mobility reduction induced on direct predecessors
+	// and successors.
+	neighborForce := func(o *dfg.Op, t int) float64 {
+		total := 0.0
+		for _, p := range preds[o.Name] {
+			if _, done := fixed[p]; done {
+				continue
+			}
+			po := g.Op(p)
+			w := win[p]
+			nls := min2(w.ls, t-1)
+			total += avgDG(po.Kind, w.es, nls) - avgDG(po.Kind, w.es, w.ls)
+		}
+		for _, sname := range succs[o.Name] {
+			if _, done := fixed[sname]; done {
+				continue
+			}
+			so := g.Op(sname)
+			w := win[sname]
+			nes := max2(w.es, t+1)
+			total += avgDG(so.Kind, nes, w.ls) - avgDG(so.Kind, w.es, w.ls)
+		}
+		return total
+	}
+
+	for len(fixed) < len(g.Ops()) {
+		bestOp, bestT, bestF := "", 0, 0.0
+		first := true
+		// Deterministic iteration order.
+		names := make([]string, 0, len(g.Ops()))
+		for _, o := range g.Ops() {
+			if _, done := fixed[o.Name]; !done {
+				names = append(names, o.Name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			o := g.Op(name)
+			w := win[name]
+			for t := w.es; t <= w.ls; t++ {
+				f := selfForce(o, t) + neighborForce(o, t)
+				if first || f < bestF-1e-12 {
+					bestOp, bestT, bestF = name, t, f
+					first = false
+				}
+			}
+		}
+		fixed[bestOp] = bestT
+		win[bestOp] = window{bestT, bestT}
+		// Propagate the tightened window through the dependency chains.
+		changed := true
+		for changed {
+			changed = false
+			for _, o := range g.Ops() {
+				w := win[o.Name]
+				for _, p := range preds[o.Name] {
+					if pw := win[p]; pw.ls > w.ls-1 {
+						pw.ls = w.ls - 1
+						win[p] = pw
+						changed = true
+					}
+				}
+				for _, sname := range succs[o.Name] {
+					if sw := win[sname]; sw.es < w.es+1 {
+						sw.es = w.es + 1
+						win[sname] = sw
+						changed = true
+					}
+				}
+			}
+		}
+		for _, o := range g.Ops() {
+			if w := win[o.Name]; w.es > w.ls {
+				return nil, fmt.Errorf("sched: FDS produced an infeasible window for %s", o.Name)
+			}
+		}
+	}
+	return fixed, nil
+}
+
+// PeakUsage returns, per kind, the maximum number of concurrent
+// operations the schedule requires (the module count a binder needs).
+func PeakUsage(g *dfg.Graph, steps map[string]int) map[dfg.Kind]int {
+	perStep := make(map[dfg.Kind]map[int]int)
+	for _, o := range g.Ops() {
+		if perStep[o.Kind] == nil {
+			perStep[o.Kind] = make(map[int]int)
+		}
+		perStep[o.Kind][steps[o.Name]]++
+	}
+	out := make(map[dfg.Kind]int, len(perStep))
+	for k, m := range perStep {
+		max := 0
+		for _, n := range m {
+			if n > max {
+				max = n
+			}
+		}
+		out[k] = max
+	}
+	return out
+}
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

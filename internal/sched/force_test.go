@@ -1,0 +1,166 @@
+package sched
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+)
+
+// paulinUnscheduled builds the differential-equation DFG (the HAL
+// benchmark, same operation structure as benchdata.Paulin, which cannot
+// be imported here without a cycle) without a schedule; FDS should
+// rediscover a two-multiplier solution at the paper's latency.
+func paulinUnscheduled(t *testing.T) *dfg.Graph {
+	t.Helper()
+	g := dfg.New("paulin")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.AddInput("x", "u", "y", "dx", "a", "k3"))
+	must(g.MarkPortInput("dx", "a", "k3"))
+	must(g.AddOp("m1", dfg.Mul, 0, "t1", "k3", "x"))
+	must(g.AddOp("m2", dfg.Mul, 0, "t2", "u", "dx"))
+	must(g.AddOp("a1", dfg.Add, 0, "x1", "x", "dx"))
+	must(g.AddOp("m4", dfg.Mul, 0, "t4", "t1", "t2"))
+	must(g.AddOp("cmp", dfg.Lt, 0, "c", "x1", "a"))
+	must(g.AddOp("m3", dfg.Mul, 0, "t3", "k3", "y"))
+	must(g.AddOp("m6", dfg.Mul, 0, "t7", "u", "dx"))
+	must(g.AddOp("s1", dfg.Sub, 0, "t6", "u", "t4"))
+	must(g.AddOp("m5", dfg.Mul, 0, "t5", "t3", "dx"))
+	must(g.AddOp("s2", dfg.Sub, 0, "u1", "t6", "t5"))
+	must(g.AddOp("a2", dfg.Add, 0, "y1", "y", "t7"))
+	must(g.MarkOutput("x1", "y1", "u1", "c"))
+	return g
+}
+
+func TestForceDirectedValid(t *testing.T) {
+	g := paulinUnscheduled(t)
+	steps, err := ForceDirected(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(g, steps); err != nil {
+		t.Fatalf("FDS schedule invalid: %v", err)
+	}
+	if got := Length(steps); got > 5 {
+		t.Errorf("latency %d exceeds bound 5", got)
+	}
+}
+
+func TestForceDirectedMinimizesMultipliers(t *testing.T) {
+	// The classic FDS result on the HAL benchmark: with enough latency
+	// the six multiplications fit on two multipliers.
+	g := paulinUnscheduled(t)
+	steps, err := ForceDirected(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakUsage(g, steps)
+	if peak[dfg.Mul] > 2 {
+		t.Errorf("FDS needs %d multipliers, want <= 2", peak[dfg.Mul])
+	}
+}
+
+func TestForceDirectedBeatsOrMatchesASAP(t *testing.T) {
+	g := paulinUnscheduled(t)
+	asap, err := ASAP(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := Length(asap) + 1
+	fds, err := ForceDirected(g, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := PeakUsage(g, asap)
+	pf := PeakUsage(g, fds)
+	totalA, totalF := 0, 0
+	for k, n := range pa {
+		totalA += n
+		_ = k
+	}
+	for _, n := range pf {
+		totalF += n
+	}
+	if totalF > totalA {
+		t.Errorf("FDS total peak usage %d worse than ASAP %d", totalF, totalA)
+	}
+}
+
+func TestForceDirectedLatencyTooSmall(t *testing.T) {
+	g := paulinUnscheduled(t)
+	if _, err := ForceDirected(g, 1); err == nil {
+		t.Error("infeasible latency accepted")
+	}
+}
+
+func TestForceDirectedOnWideGraph(t *testing.T) {
+	// A wide reduction tree: FDS at latency cp+2 must spread the adds.
+	g := dfg.New("wide")
+	if err := g.AddInput("a", "b", "c", "d", "e", "f", "g", "h"); err != nil {
+		t.Fatal(err)
+	}
+	add := func(name, res, x, y string) {
+		t.Helper()
+		if err := g.AddOp(name, dfg.Add, 0, res, x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("t1", "v1", "a", "b")
+	add("t2", "v2", "c", "d")
+	add("t3", "v3", "e", "f")
+	add("t4", "v4", "g", "h")
+	add("u1", "w1", "v1", "v2")
+	add("u2", "w2", "v3", "v4")
+	add("o", "out", "w1", "w2")
+	if err := g.MarkOutput("out"); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := ForceDirected(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(g, steps); err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakUsage(g, steps)
+	// 7 adds over 5 steps: FDS should need at most 2 concurrent adders.
+	if peak[dfg.Add] > 2 {
+		t.Errorf("FDS peak adders %d, want <= 2", peak[dfg.Add])
+	}
+}
+
+func TestForceDirectedDeterministic(t *testing.T) {
+	g := paulinUnscheduled(t)
+	s1, err := ForceDirected(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ForceDirected(g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, v := range s1 {
+		if s2[op] != v {
+			t.Fatalf("nondeterministic: %s at %d vs %d", op, v, s2[op])
+		}
+	}
+}
+
+func TestPeakUsage(t *testing.T) {
+	g := paulinUnscheduled(t)
+	steps, err := ListSchedule(g, Limits{dfg.Mul: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := PeakUsage(g, steps)
+	if peak[dfg.Mul] > 2 {
+		t.Errorf("list schedule violated its own limit: %d", peak[dfg.Mul])
+	}
+	if peak[dfg.Add] == 0 || peak[dfg.Sub] == 0 {
+		t.Error("peak usage missing kinds")
+	}
+}

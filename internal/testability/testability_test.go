@@ -1,0 +1,220 @@
+package testability
+
+import (
+	"math"
+	"testing"
+
+	"bistpath/internal/gates"
+)
+
+func TestCOPBasicGates(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 1)[0]
+	b := n.InputBus("b", 1)[0]
+	and := n.And2(a, b)
+	or := n.Or2(a, b)
+	xor := n.Xor2(a, b)
+	not := n.Not1(a)
+	an, err := COP(n, []gates.Sig{and, or, xor, not})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := func(got, want float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", what, got, want)
+		}
+	}
+	approx(an.C1[a], 0.5, "C1(a)")
+	approx(an.C1[and], 0.25, "C1(and)")
+	approx(an.C1[or], 0.75, "C1(or)")
+	approx(an.C1[xor], 0.5, "C1(xor)")
+	approx(an.C1[not], 0.5, "C1(not)")
+	// Observability through an AND requires the other input at 1.
+	approx(an.Obs[and], 1, "Obs(and out)")
+	approx(an.Obs[a], 1, "Obs(a)") // via NOT (and XOR), transparent
+}
+
+func TestCOPObservabilityChain(t *testing.T) {
+	// a -> AND(b) -> AND(c) -> out: Obs(a) = C1(b)*C1(c) = 0.25.
+	n := gates.New()
+	a := n.InputBus("a", 1)[0]
+	b := n.InputBus("b", 1)[0]
+	c := n.InputBus("c", 1)[0]
+	x := n.And2(a, b)
+	y := n.And2(x, c)
+	an, err := COP(n, []gates.Sig{y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Obs[a]-0.25) > 1e-9 {
+		t.Errorf("Obs(a) = %v, want 0.25", an.Obs[a])
+	}
+	// C1(y) = 0.125; detection of y/sa0 needs y==1.
+	p := an.DetectProb(gates.StuckAt{Sig: y, Value: false})
+	if math.Abs(p-0.125) > 1e-9 {
+		t.Errorf("DetectProb(y sa0) = %v, want 0.125", p)
+	}
+	p = an.DetectProb(gates.StuckAt{Sig: y, Value: true})
+	if math.Abs(p-0.875) > 1e-9 {
+		t.Errorf("DetectProb(y sa1) = %v, want 0.875", p)
+	}
+}
+
+func TestCOPConstants(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 1)[0]
+	x := n.And2(a, gates.One)
+	an, err := COP(n, []gates.Sig{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.C1[gates.One] != 1 || an.C1[gates.Zero] != 0 {
+		t.Error("constants mis-analyzed")
+	}
+	if math.Abs(an.C1[x]-0.5) > 1e-9 {
+		t.Errorf("C1(a AND 1) = %v", an.C1[x])
+	}
+}
+
+func TestExpectedCoverageMonotone(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 8)
+	b := n.InputBus("b", 8)
+	out := n.MulBus(a, b)
+	an, err := COP(n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := n.AllFaultSites()
+	c10 := an.ExpectedCoverage(faults, 10)
+	c100 := an.ExpectedCoverage(faults, 100)
+	c1000 := an.ExpectedCoverage(faults, 1000)
+	if !(c10 < c100 && c100 <= c1000) {
+		t.Errorf("coverage not monotone in patterns: %v %v %v", c10, c100, c1000)
+	}
+	if c1000 < 90 {
+		t.Errorf("multiplier predicted coverage %v too low", c1000)
+	}
+}
+
+// COP must predict the restoring divider as markedly harder to test with
+// random patterns than the multiplier — the effect measured at gate
+// level in internal/elab.
+func TestCOPPredictsDividerResistance(t *testing.T) {
+	build := func(f func(n *gates.Netlist, a, b []gates.Sig) []gates.Sig) float64 {
+		n := gates.New()
+		a := n.InputBus("a", 8)
+		b := n.InputBus("b", 8)
+		out := f(n, a, b)
+		an, err := COP(n, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var faults []gates.StuckAt
+		for _, g := range n.Gates {
+			faults = append(faults, gates.StuckAt{Sig: g.Out, Value: false}, gates.StuckAt{Sig: g.Out, Value: true})
+		}
+		return an.ExpectedCoverage(faults, 250)
+	}
+	mul := build(func(n *gates.Netlist, a, b []gates.Sig) []gates.Sig { return n.MulBus(a, b) })
+	div := build(func(n *gates.Netlist, a, b []gates.Sig) []gates.Sig { return n.DivBus(a, b) })
+	if div >= mul {
+		t.Errorf("COP predicts divider (%.1f%%) at least as testable as multiplier (%.1f%%)", div, mul)
+	}
+	if mul < 95 {
+		t.Errorf("multiplier prediction %.1f%% implausibly low", mul)
+	}
+	if div > 97 {
+		t.Errorf("divider prediction %.1f%% misses its random-pattern resistance", div)
+	}
+}
+
+func TestHardFaults(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 8)
+	b := n.InputBus("b", 8)
+	out := n.DivBus(a, b)
+	an, err := COP(n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := n.AllFaultSites()
+	hard := an.HardFaults(all, 0.01)
+	if len(hard) == 0 {
+		t.Error("divider should have random-pattern-resistant faults")
+	}
+	if len(hard) >= len(all) {
+		t.Error("every fault flagged hard — thresholding broken")
+	}
+	for _, f := range hard {
+		if an.DetectProb(f) >= 0.01 {
+			t.Errorf("fault %v not actually hard", f)
+		}
+	}
+}
+
+func TestCOPNoObserved(t *testing.T) {
+	n := gates.New()
+	if _, err := COP(n, nil); err == nil {
+		t.Error("empty observation set accepted")
+	}
+}
+
+// The COP prediction should land in the same band as real fault
+// simulation for the multiplier (where COP's no-reconvergence assumption
+// is mild).
+func TestCOPVersusFaultSimulation(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 8)
+	b := n.InputBus("b", 8)
+	out := n.MulBus(a, b)
+	n.OutputBus("p", out)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	an, err := COP(n, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults []gates.StuckAt
+	for _, g := range n.Gates {
+		faults = append(faults, gates.StuckAt{Sig: g.Out, Value: false}, gates.StuckAt{Sig: g.Out, Value: true})
+	}
+	predicted := an.ExpectedCoverage(faults, 200)
+
+	sim, err := gates.NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := make([][2]uint64, 200)
+	for i := range vec {
+		vec[i] = [2]uint64{uint64(i*37+11) & 0xFF, uint64(i*101+3) & 0xFF}
+	}
+	golden := make([]uint64, len(vec))
+	for i, v := range vec {
+		sim.SetBus(a, v[0])
+		sim.SetBus(b, v[1])
+		sim.Eval()
+		golden[i] = sim.ReadBus(out)
+	}
+	detected := 0
+	for _, f := range faults {
+		ff := f
+		sim.SetFault(&ff)
+		for i, v := range vec {
+			sim.SetBus(a, v[0])
+			sim.SetBus(b, v[1])
+			sim.Eval()
+			if sim.ReadBus(out) != golden[i] {
+				detected++
+				break
+			}
+		}
+		sim.SetFault(nil)
+	}
+	measured := float64(detected) / float64(len(faults)) * 100
+	if math.Abs(predicted-measured) > 8 {
+		t.Errorf("COP predicted %.1f%%, fault simulation measured %.1f%% (divergence > 8pp)", predicted, measured)
+	}
+}

@@ -1,0 +1,120 @@
+// Package vcd writes Value Change Dump (IEEE 1364) waveform files from
+// gate-level simulations, so synthesized designs can be inspected in any
+// standard waveform viewer (GTKWave etc.).
+package vcd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bistpath/internal/gates"
+)
+
+// Writer dumps the named buses of a netlist as VCD.
+type Writer struct {
+	w     io.Writer
+	sim   *gates.Sim
+	buses []bus
+	time  int
+	err   error
+}
+
+type bus struct {
+	name string
+	id   string
+	sigs []gates.Sig
+	last uint64
+	init bool
+}
+
+// New writes the VCD header for the given buses (nil = every named bus
+// of the netlist) and returns a Writer. Names are sanitized for the VCD
+// identifier syntax.
+func New(w io.Writer, n *gates.Netlist, sim *gates.Sim, names []string) (*Writer, error) {
+	if names == nil {
+		names = n.NamedBuses()
+	}
+	v := &Writer{w: w, sim: sim}
+	fmt.Fprintf(w, "$date synthesized by bistpath $end\n")
+	fmt.Fprintf(w, "$timescale 1ns $end\n")
+	fmt.Fprintf(w, "$scope module dut $end\n")
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for i, name := range sorted {
+		sigs := n.Named(name)
+		if len(sigs) == 0 {
+			return nil, fmt.Errorf("vcd: unknown bus %q", name)
+		}
+		id := ident(i)
+		fmt.Fprintf(w, "$var wire %d %s %s $end\n", len(sigs), id, clean(name))
+		v.buses = append(v.buses, bus{name: name, id: id, sigs: sigs})
+	}
+	fmt.Fprintf(w, "$upscope $end\n$enddefinitions $end\n")
+	return v, nil
+}
+
+// ident produces a compact VCD identifier from printable ASCII.
+func ident(i int) string {
+	const base = 94 // '!'..'~'
+	s := ""
+	for {
+		s = string(rune('!'+i%base)) + s
+		i /= base
+		if i == 0 {
+			return s
+		}
+		i--
+	}
+}
+
+// clean maps bus names onto VCD-legal identifiers.
+func clean(name string) string {
+	r := strings.NewReplacer(":", "_", ".", "_", " ", "_")
+	return r.Replace(name)
+}
+
+// Sample records the current simulator values at the next timestamp,
+// emitting only changes (and everything at time zero).
+func (v *Writer) Sample() {
+	if v.err != nil {
+		return
+	}
+	var lines []string
+	for i := range v.buses {
+		b := &v.buses[i]
+		val := v.sim.ReadBus(b.sigs)
+		if b.init && val == b.last {
+			continue
+		}
+		b.last = val
+		b.init = true
+		if len(b.sigs) == 1 {
+			lines = append(lines, fmt.Sprintf("%d%s", val&1, b.id))
+		} else {
+			lines = append(lines, fmt.Sprintf("b%b %s", val, b.id))
+		}
+	}
+	if len(lines) > 0 || v.time == 0 {
+		if _, err := fmt.Fprintf(v.w, "#%d\n", v.time); err != nil {
+			v.err = err
+			return
+		}
+		for _, l := range lines {
+			if _, err := fmt.Fprintln(v.w, l); err != nil {
+				v.err = err
+				return
+			}
+		}
+	}
+	v.time++
+}
+
+// Close emits the final timestamp and returns any accumulated error.
+func (v *Writer) Close() error {
+	if v.err == nil {
+		_, v.err = fmt.Fprintf(v.w, "#%d\n", v.time)
+	}
+	return v.err
+}

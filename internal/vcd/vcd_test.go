@@ -1,0 +1,95 @@
+package vcd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"bistpath/internal/gates"
+)
+
+func TestVCDBasics(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 4)
+	inc, _ := n.AddBus(a, n.ConstBus(4, 1), gates.Zero)
+	q := n.RegisterBus(inc, gates.One)
+	n.OutputBus("q", q)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := gates.NewSim(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w, err := New(&sb, n, sim, []string{"a", "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetBus(a, 3)
+	for i := 0; i < 4; i++ {
+		sim.Eval()
+		w.Sample()
+		sim.Step()
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"$timescale", "$var wire 4 ! a $end", "$var wire 4 \" q $end", "$enddefinitions", "#0", "b11 !", "#4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// q counts 0,4,4+... q latches a+1=4 each cycle: constant after the
+	// first change, so exactly one change line for q after time 0.
+	if got := strings.Count(out, "\""); got < 2 {
+		t.Errorf("q never dumped: %d refs", got)
+	}
+	// Timestamps strictly increasing.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") {
+			var ts int
+			if _, err := fmtSscan(line[1:], &ts); err != nil {
+				t.Fatalf("bad timestamp line %q", line)
+			}
+			if ts <= last {
+				t.Fatalf("timestamps not increasing: %d after %d", ts, last)
+			}
+			last = ts
+		}
+	}
+}
+
+func TestVCDUnknownBus(t *testing.T) {
+	n := gates.New()
+	n.InputBus("a", 1)
+	sim, _ := gates.NewSim(n)
+	var sb strings.Builder
+	if _, err := New(&sb, n, sim, []string{"nope"}); err == nil {
+		t.Error("unknown bus accepted")
+	}
+}
+
+func TestIdent(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := ident(i)
+		if seen[id] {
+			t.Fatalf("duplicate identifier %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestClean(t *testing.T) {
+	if clean("in:dx.sel a") != "in_dx_sel_a" {
+		t.Errorf("clean = %q", clean("in:dx.sel a"))
+	}
+}
+
+// fmtSscan avoids importing fmt at top level twice in examples.
+func fmtSscan(s string, v *int) (int, error) {
+	return fmt.Sscanf(s, "%d", v)
+}

@@ -1,0 +1,225 @@
+package verilog
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"bistpath/internal/benchdata"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/elab"
+	"bistpath/internal/gates"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/regassign"
+)
+
+func buildDP(t *testing.T, name string) *datapath.Datapath {
+	t.Helper()
+	b := benchdata.ByName(name)
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := regassign.Bind(b.Graph, mb, regassign.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := interconnect.Bind(b.Graph, mb, rb, regassign.NewSharing(b.Graph, mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := datapath.Build(b.Graph, mb, rb, ib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"in:dx":    "in_dx",
+		"R1.sel.M": "R1_sel_M",
+		"3abc":     "_3abc",
+		"plain":    "plain",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGatesEmission(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 4)
+	b := n.InputBus("b", 4)
+	sum, _ := n.AddBus(a, b, gates.Zero)
+	q := n.RegisterBus(sum, gates.One)
+	n.OutputBus("q", q)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := Gates(n, "adder_reg")
+	for _, want := range []string{
+		"module adder_reg", "input  wire [3:0] a", "output wire [3:0] q",
+		"always @(posedge clk)", "endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing %q in:\n%s", want, v)
+		}
+	}
+	// One assign per gate plus one per output bit.
+	assigns := strings.Count(v, "assign ")
+	if assigns != n.NumGates()+4 {
+		t.Errorf("got %d assigns, want %d", assigns, n.NumGates()+4)
+	}
+	// One nonblocking assignment per DFF.
+	if got := strings.Count(v, "<="); got != n.NumDFFs() {
+		t.Errorf("got %d DFF assignments, want %d", got, n.NumDFFs())
+	}
+}
+
+func TestGatesEmissionAllKinds(t *testing.T) {
+	n := gates.New()
+	a := n.InputBus("a", 1)[0]
+	b := n.InputBus("b", 1)[0]
+	bus := []gates.Sig{
+		n.And2(a, b), n.Or2(a, b), n.Xor2(a, b), n.Not1(a),
+		n.Nand2(a, b), n.Nor2(a, b), n.Xnor2(a, b),
+	}
+	n.OutputBus("o", bus)
+	v := Gates(n, "kinds")
+	for _, want := range []string{" & ", " | ", " ^ ", "~(", "= ~a[0];"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("missing operator %q", want)
+		}
+	}
+}
+
+func TestGatesEmissionIdentifiersLegal(t *testing.T) {
+	dp := buildDP(t, "paulin")
+	plan, err := bist.Optimize(dp, bist.DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := elab.Build(dp, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Gates(d.Net, "paulin_bist")
+	// Every declared identifier must be a legal Verilog name.
+	ident := regexp.MustCompile(`(?m)^\s*(?:input\s+wire|output\s+wire|wire|reg)\s*(?:\[\d+:0\])?\s*([^;,\s]+)`)
+	legal := regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_]*$`)
+	found := 0
+	for _, m := range ident.FindAllStringSubmatch(v, -1) {
+		found++
+		if !legal.MatchString(m[1]) {
+			t.Errorf("illegal identifier %q", m[1])
+		}
+	}
+	if found < 10 {
+		t.Errorf("only %d declarations found — emission incomplete?", found)
+	}
+	if !strings.Contains(v, "in_dx") {
+		t.Error("pad port in_dx missing")
+	}
+}
+
+func TestGatesDeterministic(t *testing.T) {
+	dp := buildDP(t, "ex1")
+	d, err := elab.Build(dp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Gates(d.Net, "x") != Gates(d.Net, "x") {
+		t.Error("emission not deterministic")
+	}
+}
+
+func TestRTLEmission(t *testing.T) {
+	dp := buildDP(t, "ex1")
+	v := RTL(dp)
+	for _, want := range []string{
+		"module dp_ex1", "input wire clk", "input wire rst",
+		"reg [7:0] R1", "case (step)", "out_h = ", "endmodule",
+		"// add1 on M1", "// load a",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("RTL missing %q in:\n%s", want, v)
+		}
+	}
+}
+
+func TestRTLAllOperators(t *testing.T) {
+	dp := buildDP(t, "tseng1")
+	v := RTL(dp)
+	for _, want := range []string{" + ", " - ", " * ", " / ", " & ", " | "} {
+		if !strings.Contains(v, want) {
+			t.Errorf("RTL missing operator %q", want)
+		}
+	}
+	// Division guards against zero.
+	if !strings.Contains(v, "== 0") {
+		t.Error("RTL division lacks zero guard")
+	}
+}
+
+func TestRTLComparison(t *testing.T) {
+	dp := buildDP(t, "paulin")
+	v := RTL(dp)
+	if !strings.Contains(v, " < ") {
+		t.Error("RTL missing comparison")
+	}
+	if !strings.Contains(v, "in_dx") {
+		t.Error("RTL missing pad input")
+	}
+}
+
+func TestTestbench(t *testing.T) {
+	dp := buildDP(t, "ex1")
+	in := map[string]uint64{"a": 1, "b": 2, "e": 3, "g": 4}
+	want, err := dp.Graph().Eval(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Testbench(dp, in, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []string{
+		"module tb_ex1", "dp_ex1 dut(", "always #5 clk",
+		"cap_h", "8'd60", `$display("PASS")`, "$finish",
+		"in_a = 1;", "in_g = 4;",
+	} {
+		if !strings.Contains(tb, s) {
+			t.Errorf("testbench missing %q:\n%s", s, tb)
+		}
+	}
+	// Sampling happens at the right step: h is born at step 4.
+	if !strings.Contains(tb, "if (dut.step == 5) cap_h = out_h;") {
+		t.Error("output h not sampled at step 5")
+	}
+}
+
+func TestTestbenchMultiOutput(t *testing.T) {
+	dp := buildDP(t, "paulin")
+	in := map[string]uint64{"x": 1, "u": 6, "y": 2, "dx": 1, "a": 9, "k3": 3}
+	want, err := dp.Graph().Eval(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := Testbench(dp, in, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range dp.Outputs {
+		if !strings.Contains(tb, "cap_"+o) {
+			t.Errorf("output %s not captured", o)
+		}
+	}
+	// Early-born output x1 must be sampled before the end of the run.
+	if !strings.Contains(tb, "if (dut.step == 2) cap_x1 = out_x1;") {
+		t.Error("x1 not sampled at its production step")
+	}
+}
