@@ -1,0 +1,143 @@
+package bistpath
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one synthesis request in a batch passed to SynthesizeAll.
+type Job struct {
+	// Name labels the job in its BatchResult; it defaults to the DFG
+	// name. Distinct jobs may share a name (e.g. the same design at
+	// several widths) — results are matched to jobs by position, never
+	// by name.
+	Name string
+	// DFG is the scheduled data flow graph to synthesize. A nil DFG
+	// fails that job with an error; the rest of the batch proceeds.
+	// Synthesis treats the graph as read-only, so one DFG may safely
+	// back several jobs of the same batch (e.g. a mode or width sweep).
+	DFG *DFG
+	// Modules maps op names to module names. A nil map selects
+	// automatic area-driven module binding (SynthesizeAuto).
+	Modules map[string]string
+	// Config controls the run, exactly as in DFG.Synthesize.
+	Config Config
+}
+
+// BatchOptions configures SynthesizeAll.
+type BatchOptions struct {
+	// Workers bounds how many jobs are synthesized concurrently.
+	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs the batch
+	// sequentially on the calling goroutine's pool worker.
+	Workers int
+}
+
+// BatchResult is the outcome of one job. Exactly one of Result and Err
+// is non-nil. Results are returned in job order regardless of worker
+// count, and every field of Result is deterministic, so the batch output
+// is byte-identical to a sequential run.
+type BatchResult struct {
+	Name   string
+	Result *Result
+	Err    error
+}
+
+// errNilJob fails jobs submitted without a DFG.
+var errNilJob = errors.New("bistpath: batch job has no DFG")
+
+// SynthesizeAll synthesizes every job on a bounded worker pool and
+// returns one BatchResult per job, in job order. The context cancels the
+// batch: jobs not yet started fail with ctx.Err(), and jobs already
+// running abort at the next synthesis phase boundary (the BIST branch
+// and bound polls the context). A panic inside one job is recovered and
+// degrades that single job to an error instead of killing the batch.
+func SynthesizeAll(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(ctx, jobs[i])
+			}
+		}()
+	}
+	// Feed job indices until done or cancelled; on cancellation the
+	// remaining unstarted jobs fail promptly with ctx.Err().
+	cancelled := -1
+feed:
+	for i := range jobs {
+		select {
+		case <-ctx.Done():
+			cancelled = i
+			break feed
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if cancelled >= 0 {
+		for i := cancelled; i < len(jobs); i++ {
+			results[i] = BatchResult{Name: jobName(jobs[i]), Err: ctx.Err()}
+		}
+	}
+	return results
+}
+
+func jobName(j Job) string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if j.DFG != nil {
+		return j.DFG.Name()
+	}
+	return ""
+}
+
+// runJob synthesizes one job, converting a panic into a per-job error so
+// a single bad design cannot take down the whole batch.
+func runJob(ctx context.Context, j Job) (br BatchResult) {
+	br.Name = jobName(j)
+	defer func() {
+		if r := recover(); r != nil {
+			br.Result = nil
+			br.Err = fmt.Errorf("bistpath: job %q panicked: %v", br.Name, r)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		br.Err = err
+		return br
+	}
+	if j.DFG == nil {
+		br.Err = errNilJob
+		return br
+	}
+	var res *Result
+	var err error
+	if j.Modules != nil {
+		res, err = j.DFG.SynthesizeCtx(ctx, j.Modules, j.Config)
+	} else {
+		res, err = j.DFG.SynthesizeAutoCtx(ctx, j.Config)
+	}
+	br.Result, br.Err = res, err
+	return br
+}

@@ -15,6 +15,7 @@
 package bistpath
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -71,6 +72,12 @@ type Config struct {
 	CaseOverrides        bool
 	AvoidCBILBO          bool
 	WeightedInterconnect bool
+	// Workers sets the number of goroutines the BIST branch-and-bound
+	// search uses within this one synthesis run (0 or 1 = sequential).
+	// Every worker count produces the identical Result; see the package
+	// documentation on determinism. Batch-level parallelism across
+	// designs (SynthesizeAll) is usually the better lever.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -185,10 +192,18 @@ func (r *Result) StyleSummary() string {
 }
 
 // synthesize is the internal-type entry point shared by the public
-// wrappers, cmd tools and benchmarks.
-func synthesize(g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+// wrappers, cmd tools and benchmarks. The context is polled at phase
+// boundaries and inside the BIST branch and bound, so a cancelled run
+// returns ctx.Err() promptly.
+func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Width == 0 {
 		cfg.Width = 8
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -221,6 +236,9 @@ func synthesize(g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error
 	if cfg.WeightedInterconnect {
 		shw = sh
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ib, err := interconnect.Bind(g, mb, rb, shw)
 	if err != nil {
 		return nil, err
@@ -229,10 +247,11 @@ func synthesize(g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	plan, err := bist.Optimize(dp, bist.Options{
+	plan, err := bist.OptimizeCtx(ctx, dp, bist.Options{
 		Model:            area.Default(cfg.Width),
 		AllowPadHeads:    cfg.AllowPadTPG,
 		MinimizeSessions: cfg.MinimizeSessions,
+		Workers:          cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -326,4 +345,32 @@ func (r *Result) TestCycles(patterns int) int {
 // operation each module executes).
 func (r *Result) OccupancyChart() (string, error) {
 	return report.Gantt(r.dp)
+}
+
+// ReportText renders the full synthesis result as a deterministic
+// plain-text report: same Result, same bytes. It is the canonical form
+// for regression comparisons (the determinism tests assert that parallel
+// and sequential runs produce byte-identical reports) and the cmd tools'
+// display format.
+func (r *Result) ReportText() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design %s (%s mode, width %d)\n", r.Name, r.Mode, r.Width)
+	fmt.Fprintf(&sb, "  registers: %d   muxes: %d (+%d inputs)   base area: %d   BIST area: %d   overhead: %.2f%%\n",
+		r.NumRegisters(), r.MuxCount, r.MuxExtraInputs, r.BaseArea, r.BISTArea, r.OverheadPct)
+	fmt.Fprintf(&sb, "  BIST resources: %s\n", r.StyleSummary())
+	for _, reg := range r.Registers {
+		fmt.Fprintf(&sb, "    %-4s %-7s SD=%d  {%s}\n", reg.Name, reg.Style, reg.SharingDegree, strings.Join(reg.Vars, ","))
+	}
+	for _, m := range r.Modules {
+		forced := ""
+		if m.ForcedCBILBO {
+			forced = "  [forced CBILBO]"
+		}
+		fmt.Fprintf(&sb, "    %-4s %-4s ops={%s}  %s%s\n", m.Name, m.Class, strings.Join(m.Ops, ","), m.Embedding, forced)
+	}
+	fmt.Fprintf(&sb, "  test sessions: %d\n", len(r.Sessions))
+	for i, s := range r.Sessions {
+		fmt.Fprintf(&sb, "    session %d: %s\n", i+1, strings.Join(s, ", "))
+	}
+	return sb.String()
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bistpath synth -bench <name> | -dfg <file> [-mode testable|traditional] [-width N] [-netlist] [-dot]
+  bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N] [-netlist] [-dot]
   bistpath sim   -bench <name> | -dfg <file> -inputs a=1,b=2,...
   bistpath cover -bench <name> | -dfg <file> [-patterns N] [-width N]
   bistpath emit  -bench <name> | -dfg <file> [-format rtl|gates] [-module NAME]
@@ -97,20 +98,17 @@ func synthesize(d *bistpath.DFG, mods map[string]string, cfg bistpath.Config) (*
 
 func cmdSynth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
-	bench := fs.String("bench", "", "built-in benchmark name")
+	bench := fs.String("bench", "", "built-in benchmark name, comma-separated list, or \"all\"")
 	dfgFile := fs.String("dfg", "", "DFG file")
 	mode := fs.String("mode", "testable", "testable or traditional")
 	width := fs.Int("width", 8, "datapath bit width")
+	jobs := fs.Int("j", 0, "parallel synthesis workers for multi-design runs (0 = GOMAXPROCS)")
 	netlist := fs.Bool("netlist", false, "print the netlist and control program")
 	dot := fs.Bool("dot", false, "print a Graphviz rendering of the data path")
 	traceFlag := fs.Bool("trace", false, "explain every register-binding decision")
 	gantt := fs.Bool("gantt", false, "print the register/module occupancy chart")
 	fs.Parse(args)
 
-	d, mods, err := loadDesign(*bench, *dfgFile)
-	if err != nil {
-		return err
-	}
 	cfg := bistpath.DefaultConfig()
 	cfg.Width = *width
 	switch *mode {
@@ -121,6 +119,37 @@ func cmdSynth(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	cfg.Trace = *traceFlag
+
+	// A benchmark list (or "all") fans the designs out over the batch
+	// worker pool; output order is the list order regardless of -j.
+	if names := benchList(*bench); len(names) > 1 {
+		if *dfgFile != "" {
+			return fmt.Errorf("use either -bench or -dfg, not both")
+		}
+		var batch []bistpath.Job
+		for _, name := range names {
+			d, mods, err := bistpath.Benchmark(name)
+			if err != nil {
+				return err
+			}
+			batch = append(batch, bistpath.Job{Name: name, DFG: d, Modules: mods, Config: cfg})
+		}
+		for i, br := range bistpath.SynthesizeAll(context.Background(), batch, bistpath.BatchOptions{Workers: *jobs}) {
+			if br.Err != nil {
+				return fmt.Errorf("%s: %w", br.Name, br.Err)
+			}
+			if i > 0 {
+				fmt.Println()
+			}
+			printResult(br.Result)
+		}
+		return nil
+	}
+
+	d, mods, err := loadDesign(*bench, *dfgFile)
+	if err != nil {
+		return err
+	}
 	res, err := synthesize(d, mods, cfg)
 	if err != nil {
 		return err
@@ -151,25 +180,26 @@ func cmdSynth(args []string) error {
 	return nil
 }
 
-func printResult(res *bistpath.Result) {
-	fmt.Printf("design %s (%s mode, width %d)\n", res.Name, res.Mode, res.Width)
-	fmt.Printf("  registers: %d   muxes: %d   base area: %d   BIST area: %d   overhead: %.2f%%\n",
-		res.NumRegisters(), res.MuxCount, res.BaseArea, res.BISTArea, res.OverheadPct)
-	fmt.Printf("  BIST resources: %s\n", res.StyleSummary())
-	for _, r := range res.Registers {
-		fmt.Printf("    %-4s %-7s SD=%d  {%s}\n", r.Name, r.Style, r.SharingDegree, strings.Join(r.Vars, ","))
+// benchList expands the -bench argument into a list of benchmark names:
+// "all" selects every built-in design, commas separate explicit names.
+func benchList(arg string) []string {
+	if arg == "all" {
+		return bistpath.BenchmarkNames()
 	}
-	for _, m := range res.Modules {
-		forced := ""
-		if m.ForcedCBILBO {
-			forced = "  [forced CBILBO]"
+	if !strings.Contains(arg, ",") {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
 		}
-		fmt.Printf("    %-4s %-4s ops={%s}  %s%s\n", m.Name, m.Class, strings.Join(m.Ops, ","), m.Embedding, forced)
 	}
-	fmt.Printf("  test sessions: %d\n", len(res.Sessions))
-	for i, s := range res.Sessions {
-		fmt.Printf("    session %d: %s\n", i+1, strings.Join(s, ", "))
-	}
+	return names
+}
+
+func printResult(res *bistpath.Result) {
+	fmt.Print(res.ReportText())
 }
 
 func cmdSim(args []string) error {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -46,7 +47,9 @@ func main() {
 	widths := flag.Bool("widths", false, "run the datapath-width sweep")
 	atpgFlag := flag.Bool("atpg", false, "run the fault-efficiency study (deterministic top-up + redundancy proofs)")
 	sessions := flag.Bool("sessions", false, "run the test-time/session study")
+	jflag := flag.Int("j", 0, "parallel synthesis workers for the table sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
+	batchWorkers = *jflag
 
 	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions
 	run := func(err error) {
@@ -103,21 +106,24 @@ func main() {
 func sessionTable() error {
 	t := report.NewTable("Test sessions — area-minimal plans, with and without the session tie-break",
 		"DFG", "sessions (default)", "sessions (tuned)", "test cycles @250", "BIST area")
+	var jobs []bistpath.Job
 	for _, b := range benchdata.All() {
 		d, mods, err := bistpath.Benchmark(b.Name)
 		if err != nil {
 			return err
 		}
-		base, err := d.Synthesize(mods, bistpath.DefaultConfig())
-		if err != nil {
-			return err
-		}
-		cfg := bistpath.DefaultConfig()
-		cfg.MinimizeSessions = true
-		tuned, err := d.Synthesize(mods, cfg)
-		if err != nil {
-			return err
-		}
+		tuned := bistpath.DefaultConfig()
+		tuned.MinimizeSessions = true
+		jobs = append(jobs,
+			bistpath.Job{Name: b.Name + "/default", DFG: d, Modules: mods, Config: bistpath.DefaultConfig()},
+			bistpath.Job{Name: b.Name + "/tuned", DFG: d, Modules: mods, Config: tuned})
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return err
+	}
+	for i, b := range benchdata.All() {
+		base, tuned := results[2*i], results[2*i+1]
 		if tuned.BISTArea != base.BISTArea {
 			return fmt.Errorf("%s: session tuning changed area", b.Name)
 		}
@@ -222,24 +228,38 @@ func atpgTable() error {
 func widthTable() error {
 	t := report.NewTable("Width sweep — BIST overhead vs datapath width (extension)",
 		"DFG", "w=4 trad/ours", "w=8 trad/ours", "w=16 trad/ours")
+	widths := []int{4, 8, 16}
+	// One batch over the full design × width × mode cross product.
+	var jobs []bistpath.Job
+	for _, b := range benchdata.All() {
+		d, mods, err := bistpath.Benchmark(b.Name)
+		if err != nil {
+			return err
+		}
+		for _, w := range widths {
+			for _, mode := range []bistpath.Mode{bistpath.Testable, bistpath.TraditionalHLS} {
+				cfg := bistpath.DefaultConfig()
+				cfg.Width = w
+				cfg.Mode = mode
+				jobs = append(jobs, bistpath.Job{
+					Name:    fmt.Sprintf("%s/w%d/%s", b.Name, w, mode),
+					DFG:     d,
+					Modules: mods,
+					Config:  cfg,
+				})
+			}
+		}
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return err
+	}
+	i := 0
 	for _, b := range benchdata.All() {
 		row := []interface{}{b.Name}
-		for _, w := range []int{4, 8, 16} {
-			d, mods, err := bistpath.Benchmark(b.Name)
-			if err != nil {
-				return err
-			}
-			cfg := bistpath.DefaultConfig()
-			cfg.Width = w
-			test, err := d.Synthesize(mods, cfg)
-			if err != nil {
-				return err
-			}
-			cfg.Mode = bistpath.TraditionalHLS
-			trad, err := d.Synthesize(mods, cfg)
-			if err != nil {
-				return err
-			}
+		for _, w := range widths {
+			test, trad := results[i], results[i+1]
+			i += 2
 			if test.OverheadPct >= trad.OverheadPct {
 				return fmt.Errorf("width %d: ordering violated on %s", w, b.Name)
 			}
@@ -459,20 +479,73 @@ func gateLevelTable() error {
 	return nil
 }
 
-// synthBoth runs both flows on one benchmark.
-func synthBoth(name string) (testable, traditional *bistpath.Result, err error) {
+// batchWorkers is the -j flag: how many synthesis jobs the table sweeps
+// run concurrently (0 = GOMAXPROCS).
+var batchWorkers int
+
+// runBatch fans jobs out over the shared worker pool and unwraps the
+// per-job errors; results come back in job order.
+func runBatch(jobs []bistpath.Job) ([]*bistpath.Result, error) {
+	out := make([]*bistpath.Result, 0, len(jobs))
+	for _, br := range bistpath.SynthesizeAll(context.Background(), jobs, bistpath.BatchOptions{Workers: batchWorkers}) {
+		if br.Err != nil {
+			return nil, fmt.Errorf("%s: %w", br.Name, br.Err)
+		}
+		out = append(out, br.Result)
+	}
+	return out, nil
+}
+
+// bothFlows builds the (testable, traditional) job pair for one design.
+func bothFlows(name string) ([]bistpath.Job, error) {
 	d, mods, err := bistpath.Benchmark(name)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	cfg := bistpath.DefaultConfig()
-	testable, err = d.Synthesize(mods, cfg)
+	cfgT := bistpath.DefaultConfig()
+	cfgR := bistpath.DefaultConfig()
+	cfgR.Mode = bistpath.TraditionalHLS
+	return []bistpath.Job{
+		{Name: name + "/testable", DFG: d, Modules: mods, Config: cfgT},
+		{Name: name + "/traditional", DFG: d, Modules: mods, Config: cfgR},
+	}, nil
+}
+
+// synthAllBoth runs both flows for every benchmark on the worker pool,
+// returning per-design (testable, traditional) pairs keyed by name.
+func synthAllBoth() (map[string][2]*bistpath.Result, error) {
+	var jobs []bistpath.Job
+	var names []string
+	for _, b := range benchdata.All() {
+		pair, err := bothFlows(b.Name)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, pair...)
+		names = append(names, b.Name)
+	}
+	results, err := runBatch(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][2]*bistpath.Result, len(names))
+	for i, name := range names {
+		out[name] = [2]*bistpath.Result{results[2*i], results[2*i+1]}
+	}
+	return out, nil
+}
+
+// synthBoth runs both flows on one benchmark.
+func synthBoth(name string) (testable, traditional *bistpath.Result, err error) {
+	jobs, err := bothFlows(name)
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg.Mode = bistpath.TraditionalHLS
-	traditional, err = d.Synthesize(mods, cfg)
-	return testable, traditional, err
+	results, err := runBatch(jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results[0], results[1], nil
 }
 
 // paperTableI holds the paper's Table I values: trad %, testable %,
@@ -491,11 +564,12 @@ var paperTableI = map[string]struct {
 func tableI() error {
 	t := report.NewTable("Table I — design comparisons with BIST area overhead",
 		"DFG", "modules", "#reg", "mux t/o", "%BIST trad", "%BIST ours", "%reduction", "paper t/o/red")
+	pairs, err := synthAllBoth()
+	if err != nil {
+		return err
+	}
 	for _, b := range benchdata.All() {
-		test, trad, err := synthBoth(b.Name)
-		if err != nil {
-			return err
-		}
+		test, trad := pairs[b.Name][0], pairs[b.Name][1]
 		red := (trad.OverheadPct - test.OverheadPct) / trad.OverheadPct * 100
 		p := paperTableI[b.Name]
 		t.AddRowf(b.Name, b.ModuleInventory, test.NumRegisters(),
@@ -519,11 +593,12 @@ var paperTableII = map[string][2]string{
 func tableII() error {
 	t := report.NewTable("Table II — minimal area BIST solutions",
 		"DFG", "flow", "measured", "paper")
+	pairs, err := synthAllBoth()
+	if err != nil {
+		return err
+	}
 	for _, b := range benchdata.All() {
-		test, trad, err := synthBoth(b.Name)
-		if err != nil {
-			return err
-		}
+		test, trad := pairs[b.Name][0], pairs[b.Name][1]
 		p := paperTableII[b.Name]
 		t.AddRow(b.Name, "traditional", trad.StyleSummary(), p[0])
 		t.AddRow("", "testable", test.StyleSummary(), p[1])

@@ -1,0 +1,56 @@
+package bistpath
+
+import (
+	"testing"
+)
+
+// Regression test for latent map-iteration nondeterminism: every stage
+// feeding the optimizer (style enumeration, embedding enumeration,
+// session packing) must iterate in sorted order, so repeated synthesis
+// of the same design yields byte-identical reports. Twenty runs per
+// configuration gives Go's randomized map iteration ample opportunity
+// to expose an unsorted walk.
+func TestSynthesizeRepeatedlyDeterministic(t *testing.T) {
+	const runs = 20
+	for _, name := range BenchmarkNames() {
+		for _, mode := range []struct {
+			label string
+			cfg   func() Config
+		}{
+			{"testable", DefaultConfig},
+			{"traditional", func() Config {
+				c := DefaultConfig()
+				c.Mode = TraditionalHLS
+				return c
+			}},
+			{"minsessions", func() Config {
+				c := DefaultConfig()
+				c.MinimizeSessions = true
+				return c
+			}},
+		} {
+			var first string
+			for run := 0; run < runs; run++ {
+				// Rebuild the DFG and binding from scratch each run so
+				// construction-order effects are exercised too.
+				d, mods, err := Benchmark(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := d.Synthesize(mods, mode.cfg())
+				if err != nil {
+					t.Fatalf("%s/%s run %d: %v", name, mode.label, run, err)
+				}
+				rep := res.ReportText()
+				if run == 0 {
+					first = rep
+					continue
+				}
+				if rep != first {
+					t.Fatalf("%s/%s: run %d report differs from run 0:\n--- run 0\n%s\n--- run %d\n%s",
+						name, mode.label, run, first, run, rep)
+				}
+			}
+		}
+	}
+}

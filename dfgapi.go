@@ -1,6 +1,7 @@
 package bistpath
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -105,16 +106,29 @@ func (d *DFG) AutoScheduleForce(latency int) error {
 // module assignment (every op name must be mapped; ops sharing a module
 // name share the functional unit).
 func (d *DFG) Synthesize(opToModule map[string]string, cfg Config) (*Result, error) {
+	return d.SynthesizeCtx(context.Background(), opToModule, cfg)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: the flow polls ctx at
+// phase boundaries and inside the BIST branch and bound, returning
+// ctx.Err() promptly when the context is cancelled or times out.
+func (d *DFG) SynthesizeCtx(ctx context.Context, opToModule map[string]string, cfg Config) (*Result, error) {
 	mb, err := modassign.FromMap(d.g, opToModule)
 	if err != nil {
 		return nil, err
 	}
-	return synthesize(d.g, mb, cfg)
+	return synthesize(ctx, d.g, mb, cfg)
 }
 
 // SynthesizeAuto runs the full flow with area-driven module binding over
 // one functional-unit class per operation kind.
 func (d *DFG) SynthesizeAuto(cfg Config) (*Result, error) {
+	return d.SynthesizeAutoCtx(context.Background(), cfg)
+}
+
+// SynthesizeAutoCtx is SynthesizeAuto with cancellation (see
+// SynthesizeCtx).
+func (d *DFG) SynthesizeAutoCtx(ctx context.Context, cfg Config) (*Result, error) {
 	kinds := make(map[dfg.Kind]bool)
 	for _, op := range d.g.Ops() {
 		kinds[op.Kind] = true
@@ -132,7 +146,7 @@ func (d *DFG) SynthesizeAuto(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return synthesize(d.g, mb, cfg)
+	return synthesize(ctx, d.g, mb, cfg)
 }
 
 // BenchmarkNames lists the built-in DAC'95 evaluation benchmarks.

@@ -82,18 +82,21 @@ func Embeddings(dp *datapath.Datapath, module string, allowPadHeads bool) []Embe
 				out = append(out, Embedding{Module: module, HeadL: l, Tail: t})
 			}
 		}
-		return out
-	}
-	for _, l := range ls {
-		for _, r := range rs {
-			if l == r && !diagonal {
-				continue
-			}
-			for _, t := range m.Dests {
-				out = append(out, Embedding{Module: module, HeadL: l, HeadR: r, Tail: t})
+	} else {
+		for _, l := range ls {
+			for _, r := range rs {
+				if l == r && !diagonal {
+					continue
+				}
+				for _, t := range m.Dests {
+					out = append(out, Embedding{Module: module, HeadL: l, HeadR: r, Tail: t})
+				}
 			}
 		}
 	}
+	// Canonical order on both arities: the optimizer's deterministic
+	// tie-break is defined over this order, so it must be a pure
+	// function of the data path, never of construction order.
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.HeadL != b.HeadL {

@@ -1,8 +1,12 @@
 package bist
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bistpath/internal/area"
 	"bistpath/internal/datapath"
@@ -51,6 +55,12 @@ type Options struct {
 	// one ("it is not necessary to test all the combinational modules at
 	// the same time", Section II).
 	MinimizeSessions bool
+	// Workers sets the number of goroutines exploring the branch and
+	// bound concurrently (first-level embedding choices are partitioned
+	// across them). 0 or 1 runs the search on the calling goroutine.
+	// Any worker count returns the identical Plan: ties are broken by the
+	// canonical depth-first search order, not by arrival order.
+	Workers int
 }
 
 // DefaultOptions returns the standard configuration for the given width.
@@ -63,15 +73,201 @@ func DefaultOptions(width int) Options {
 // and bound for realistic sizes; beyond the node budget it falls back to
 // a greedy pass with local improvement (Exact reports which).
 func Optimize(dp *datapath.Datapath, opts Options) (*Plan, error) {
+	return OptimizeCtx(context.Background(), dp, opts)
+}
+
+// modEmb pairs a module with its candidate embeddings in search order.
+type modEmb struct {
+	name string
+	embs []Embedding
+}
+
+// noBound marks an empty incumbent in the packed atomic bound.
+const noBound = int64(math.MaxInt64)
+
+// packBound encodes (cost, branch) so that the natural int64 order is the
+// lexicographic (cost, branch) order: smaller packed value = lower cost,
+// then earlier first-level branch. Costs and branch counts are far below
+// 2^31 for any realistic data path.
+func packBound(cost, branch int) int64 { return int64(cost)<<32 | int64(branch) }
+
+func unpackBound(p int64) (cost, branch int) { return int(p >> 32), int(p & 0xffffffff) }
+
+// search holds the state shared by all branch-and-bound workers. The only
+// mutable shared fields are atomics; every worker keeps its own roleState,
+// partial assignment and incumbent so no search state needs locking.
+type search struct {
+	ctx       context.Context
+	opts      Options
+	mods      []modEmb
+	bound     atomic.Int64 // packed (cost, branch) of the best complete solution
+	nodes     atomic.Int64 // nodes expanded, across all workers
+	inexact   atomic.Bool  // node budget exhausted somewhere
+	cancelled atomic.Bool  // ctx.Done observed somewhere
+}
+
+// solution is a worker-local incumbent. branch is the index of the
+// first-level embedding choice it descends from; merging by ascending
+// branch (after cost and, optionally, session count) reproduces the
+// sequential depth-first tie-break exactly.
+type solution struct {
+	ok       bool
+	cost     int
+	sessions int
+	branch   int
+	embs     map[string]Embedding
+}
+
+// worker explores whole first-level subtrees. Each subtree is owned by
+// exactly one worker, so its incumbent update below is single-threaded.
+type worker struct {
+	sh     *search
+	st     *roleState
+	cur    map[string]Embedding
+	branch int
+	best   solution
+}
+
+func (w *worker) dfs(i int) {
+	sh := w.sh
+	n := sh.nodes.Add(1)
+	if sh.opts.NodeBudget > 0 && n > int64(sh.opts.NodeBudget) {
+		sh.inexact.Store(true)
+		return
+	}
+	if n&1023 == 0 {
+		select {
+		case <-sh.ctx.Done():
+			sh.cancelled.Store(true)
+		default:
+		}
+	}
+	if sh.cancelled.Load() || sh.inexact.Load() {
+		return
+	}
+	cost := w.st.cost
+	if packed := sh.bound.Load(); packed != noBound {
+		bc, bb := unpackBound(packed)
+		if cost > bc {
+			return // adding modules never lowers cost
+		}
+		// An equal-cost completion can only win the deterministic
+		// tie-break from a strictly earlier first-level branch (unless
+		// the session tie-break still needs the leaves enumerated).
+		if cost == bc && !sh.opts.MinimizeSessions && w.branch >= bb && i < len(sh.mods) {
+			return
+		}
+	}
+	if i == len(sh.mods) {
+		w.leaf(cost)
+		return
+	}
+	m := sh.mods[i]
+	for _, e := range m.embs {
+		w.cur[m.name] = e
+		w.st.apply(e)
+		w.dfs(i + 1)
+		w.st.undo(e)
+		delete(w.cur, m.name)
+	}
+}
+
+// leaf considers a complete assignment. Within one worker the update is
+// strict-improvement only, so the first solution in depth-first order
+// wins ties — the same rule the sequential search applies globally.
+func (w *worker) leaf(cost int) {
+	if w.sh.opts.MinimizeSessions {
+		if w.best.ok && cost > w.best.cost {
+			return
+		}
+		s := sessionsOfEmbeddings(w.cur)
+		if w.best.ok && cost == w.best.cost && s >= w.best.sessions {
+			return
+		}
+		w.take(cost, s)
+		return
+	}
+	if w.best.ok && cost >= w.best.cost {
+		return
+	}
+	w.take(cost, 0)
+}
+
+func (w *worker) take(cost, sessions int) {
+	embs := make(map[string]Embedding, len(w.cur))
+	for k, v := range w.cur {
+		embs[k] = v
+	}
+	w.best = solution{ok: true, cost: cost, sessions: sessions, branch: w.branch, embs: embs}
+	packed := packBound(cost, w.branch)
+	for {
+		old := w.sh.bound.Load()
+		if old <= packed || w.sh.bound.CompareAndSwap(old, packed) {
+			return
+		}
+	}
+}
+
+// runBranches claims first-level branches off the shared counter and runs
+// the canonical depth-first search under each.
+func (w *worker) runBranches(next *atomic.Int64) {
+	first := w.sh.mods[0]
+	for {
+		b := int(next.Add(1) - 1)
+		if b >= len(first.embs) || w.sh.cancelled.Load() {
+			return
+		}
+		e := first.embs[b]
+		w.branch = b
+		w.cur[first.name] = e
+		w.st.apply(e)
+		w.dfs(1)
+		w.st.undo(e)
+		delete(w.cur, first.name)
+	}
+}
+
+// sessionsOfEmbeddings counts the test sessions a set of embeddings packs
+// into (used by the MinimizeSessions tie-break).
+func sessionsOfEmbeddings(embs map[string]Embedding) int {
+	p := &Plan{Embeddings: embs, Styles: stylesOf(embs)}
+	return len(ScheduleSessions(p))
+}
+
+// better reports whether a beats b under the deterministic total order:
+// lower cost, then (when asked) fewer sessions, then the earlier
+// first-level branch of the canonical search order.
+func (a solution) better(b solution, minimizeSessions bool) bool {
+	switch {
+	case !a.ok:
+		return false
+	case !b.ok:
+		return true
+	case a.cost != b.cost:
+		return a.cost < b.cost
+	case minimizeSessions && a.sessions != b.sessions:
+		return a.sessions < b.sessions
+	}
+	return a.branch < b.branch
+}
+
+// OptimizeCtx is Optimize with cancellation: the search aborts promptly
+// with ctx.Err() when the context is cancelled or times out. The result
+// is identical for every Options.Workers value — the incumbent merge uses
+// the canonical depth-first order of the search tree, never the
+// wall-clock order in which workers find solutions.
+func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Model.Width == 0 {
 		opts.Model = area.Default(dp.Width)
 	}
 	if opts.NodeBudget == 0 {
 		opts.NodeBudget = 2_000_000
-	}
-	type modEmb struct {
-		name string
-		embs []Embedding
 	}
 	var mods []modEmb
 	for _, m := range dp.Modules {
@@ -94,6 +290,9 @@ func Optimize(dp *datapath.Datapath, opts Options) (*Plan, error) {
 
 	// Pre-sort each module's embeddings once by standalone upgrade cost
 	// (cheap embeddings first makes the first complete solution strong).
+	// Embeddings() returns a sorted slice and SliceStable keeps that
+	// order among equal costs, so the search order — and therefore the
+	// deterministic tie-break — is a pure function of the data path.
 	for _, m := range mods {
 		standalone := func(e Embedding) int {
 			one := map[string]Embedding{m.name: e}
@@ -104,64 +303,58 @@ func Optimize(dp *datapath.Datapath, opts Options) (*Plan, error) {
 
 	best := make(map[string]Embedding, len(mods))
 	bestCost := -1
-	bestSessions := -1
-	nodes := 0
 	exact := true
-	cur := make(map[string]Embedding, len(mods))
-	st := newRoleState(opts.Model)
 
-	sessionsOf := func(embs map[string]Embedding) int {
-		p := &Plan{Embeddings: embs, Styles: stylesOf(embs)}
-		return len(ScheduleSessions(p))
+	if len(mods) == 0 {
+		bestCost = 0
+	} else {
+		sh := &search{ctx: ctx, opts: opts, mods: mods}
+		sh.bound.Store(noBound)
+
+		nw := opts.Workers
+		if nw < 1 {
+			nw = 1
+		}
+		if nw > len(mods[0].embs) {
+			nw = len(mods[0].embs)
+		}
+		newWorker := func() *worker {
+			return &worker{sh: sh, st: newRoleState(opts.Model), cur: make(map[string]Embedding, len(mods))}
+		}
+		var next atomic.Int64
+		locals := make([]*worker, nw)
+		if nw == 1 {
+			locals[0] = newWorker()
+			locals[0].runBranches(&next)
+		} else {
+			var wg sync.WaitGroup
+			for i := range locals {
+				w := newWorker()
+				locals[i] = w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.runBranches(&next)
+				}()
+			}
+			wg.Wait()
+		}
+		if sh.cancelled.Load() {
+			return nil, ctx.Err()
+		}
+		exact = !sh.inexact.Load()
+
+		var final solution
+		for _, w := range locals {
+			if w.best.better(final, opts.MinimizeSessions) {
+				final = w.best
+			}
+		}
+		if final.ok {
+			best = final.embs
+			bestCost = final.cost
+		}
 	}
-	var dfs func(i int)
-	dfs = func(i int) {
-		if nodes > opts.NodeBudget {
-			exact = false
-			return
-		}
-		nodes++
-		cost := st.cost
-		if bestCost >= 0 {
-			if cost > bestCost {
-				return // adding modules never lowers cost
-			}
-			if cost == bestCost && i < len(mods) && !opts.MinimizeSessions {
-				return // equal-cost completions cannot improve
-			}
-		}
-		if i == len(mods) {
-			if bestCost < 0 || cost < bestCost {
-				bestCost = cost
-				for k, v := range cur {
-					best[k] = v
-				}
-				if opts.MinimizeSessions {
-					bestSessions = sessionsOf(best)
-				}
-				return
-			}
-			// cost == bestCost: prefer fewer sessions when asked.
-			if opts.MinimizeSessions {
-				if s := sessionsOf(cur); s < bestSessions {
-					bestSessions = s
-					for k, v := range cur {
-						best[k] = v
-					}
-				}
-			}
-			return
-		}
-		m := mods[i]
-		for _, e := range m.embs {
-			cur[m.name] = e
-			st.apply(e)
-			dfs(i + 1)
-			st.undo(e)
-			delete(cur, m.name)
-		}
-	}
-	dfs(0)
 
 	if bestCost < 0 || !exact {
 		// Greedy fallback (also used when the budget ran out before any
@@ -277,7 +470,8 @@ func containsStr(list []string, x string) bool {
 // roleState tracks register duties and the total upgrade cost
 // incrementally as embeddings are applied and undone during the branch
 // and bound — O(1) per affected register instead of recomputing every
-// style from scratch at every node.
+// style from scratch at every node. Each worker owns one instance; the
+// type itself is not safe for concurrent use.
 type roleState struct {
 	model  area.Model
 	tpgCnt map[string]int

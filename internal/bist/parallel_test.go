@@ -1,0 +1,225 @@
+package bist
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bistpath/internal/benchdata"
+	"bistpath/internal/datapath"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/regassign"
+)
+
+// buildBenchWidth is buildBench at an explicit datapath width.
+func buildBenchWidth(t testing.TB, b *benchdata.Benchmark, traditional bool, width int) *datapath.Datapath {
+	t.Helper()
+	mb, err := b.Modules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb *regassign.Binding
+	if traditional {
+		rb, err = regassign.Traditional(b.Graph)
+	} else {
+		rb, err = regassign.Bind(b.Graph, mb, regassign.DefaultOptions())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := interconnect.Bind(b.Graph, mb, rb, regassign.NewSharing(b.Graph, mb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, err := datapath.Build(b.Graph, mb, rb, ib, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dp
+}
+
+// planKey renders the full plan for equality comparison.
+func planKey(p *Plan) string {
+	return fmt.Sprintf("area=%d exact=%v embs=%v styles=%v sessions=%v",
+		p.ExtraArea, p.Exact, p.Embeddings, p.Styles, p.Sessions)
+}
+
+// The core parallel-search property: for every benchmark design, both
+// binders, and widths 4/8/16, the parallel optimizer returns a plan that
+// (a) never has higher ExtraArea than the sequential one, (b) validates
+// against the data path, and (c) is in fact the identical Plan — the
+// deterministic tie-break makes worker count unobservable.
+func TestParallelOptimizeMatchesSequential(t *testing.T) {
+	for _, b := range benchdata.All() {
+		for _, trad := range []bool{false, true} {
+			for _, width := range []int{4, 8, 16} {
+				dp := buildBenchWidth(t, b, trad, width)
+				seq, err := Optimize(dp, DefaultOptions(width))
+				if err != nil {
+					t.Fatalf("%s trad=%v w=%d: %v", b.Name, trad, width, err)
+				}
+				for _, workers := range []int{2, 3, 8} {
+					opts := DefaultOptions(width)
+					opts.Workers = workers
+					par, err := Optimize(dp, opts)
+					if err != nil {
+						t.Fatalf("%s trad=%v w=%d workers=%d: %v", b.Name, trad, width, workers, err)
+					}
+					if par.ExtraArea > seq.ExtraArea {
+						t.Errorf("%s trad=%v w=%d workers=%d: parallel area %d > sequential %d",
+							b.Name, trad, width, workers, par.ExtraArea, seq.ExtraArea)
+					}
+					if err := par.Validate(dp); err != nil {
+						t.Errorf("%s trad=%v w=%d workers=%d: %v", b.Name, trad, width, workers, err)
+					}
+					if !reflect.DeepEqual(par.Embeddings, seq.Embeddings) ||
+						!reflect.DeepEqual(par.Styles, seq.Styles) ||
+						!reflect.DeepEqual(par.Sessions, seq.Sessions) {
+						t.Errorf("%s trad=%v w=%d workers=%d: plan differs:\npar: %s\nseq: %s",
+							b.Name, trad, width, workers, planKey(par), planKey(seq))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The same equality must hold under the session-minimizing tie-break,
+// where equal-cost subtrees cannot be pruned and the leaves race.
+func TestParallelOptimizeMinimizeSessionsDeterministic(t *testing.T) {
+	for _, b := range benchdata.All() {
+		dp := buildBenchWidth(t, b, false, 8)
+		opts := DefaultOptions(8)
+		opts.MinimizeSessions = true
+		seq, err := Optimize(dp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			popts := opts
+			popts.Workers = workers
+			par, err := Optimize(dp, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if planKey(par) != planKey(seq) {
+				t.Errorf("%s workers=%d:\npar: %s\nseq: %s", b.Name, workers, planKey(par), planKey(seq))
+			}
+		}
+	}
+}
+
+// Property sweep over random DFGs: parallel and sequential plans agree
+// on freshly generated data paths, not just the five paper designs.
+func TestParallelOptimizeRandomProperty(t *testing.T) {
+	for seed := int64(700); seed < 720; seed++ {
+		g, mb, err := benchdata.RandomWithModules(benchdata.DefaultRandomConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := regassign.Bind(g, mb, regassign.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ib, err := interconnect.Bind(g, mb, rb, regassign.NewSharing(g, mb))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		dp, err := datapath.Build(g, mb, rb, ib, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq, err := Optimize(dp, DefaultOptions(8))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opts := DefaultOptions(8)
+		opts.Workers = 4
+		par, err := Optimize(dp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if par.ExtraArea > seq.ExtraArea {
+			t.Errorf("seed %d: parallel area %d > sequential %d", seed, par.ExtraArea, seq.ExtraArea)
+		}
+		if planKey(par) != planKey(seq) {
+			t.Errorf("seed %d: plan differs:\npar: %s\nseq: %s", seed, planKey(par), planKey(seq))
+		}
+	}
+}
+
+// OptimizeCtx honors cancellation in both sequential and parallel modes.
+func TestOptimizeCtxCancelled(t *testing.T) {
+	dp := buildBenchWidth(t, benchdata.Ex1(), false, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions(8)
+		opts.Workers = workers
+		if _, err := OptimizeCtx(ctx, dp, opts); err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// The greedy fallback stays deterministic across worker counts when the
+// node budget truncates the exact search.
+func TestParallelOptimizeTinyBudgetDeterministic(t *testing.T) {
+	dp := buildBenchWidth(t, benchdata.Tseng1(), false, 8)
+	plans := make([]*Plan, 0, 3)
+	for _, workers := range []int{1, 2, 8} {
+		opts := DefaultOptions(8)
+		opts.Workers = workers
+		opts.NodeBudget = 1 // force the fallback everywhere
+		p, err := Optimize(dp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Exact {
+			t.Fatal("budget of 1 node reported exact")
+		}
+		if err := p.Validate(dp); err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, p)
+	}
+	for i := 1; i < len(plans); i++ {
+		if planKey(plans[i]) != planKey(plans[0]) {
+			t.Errorf("fallback plan %d differs:\n%s\nvs\n%s", i, planKey(plans[i]), planKey(plans[0]))
+		}
+	}
+}
+
+// BenchmarkOptimizeParallel compares the branch and bound at several
+// inner worker counts on the densest paper design.
+func BenchmarkOptimizeParallel(b *testing.B) {
+	bench := benchdata.ByName("tseng1")
+	mb, err := bench.Modules()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rb, err := regassign.Bind(bench.Graph, mb, regassign.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ib, err := interconnect.Bind(bench.Graph, mb, rb, regassign.NewSharing(bench.Graph, mb))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dp, err := datapath.Build(bench.Graph, mb, rb, ib, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := DefaultOptions(8)
+			opts.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Optimize(dp, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
+# if any benchmark regressed by more than BENCH_MAX_REGRESSION_PCT
+# percent (default: 5) in ns/op.
+#
+# Benchmarks present in only one of the two files are reported but do
+# not fail the comparison; keep baseline and compare runs on the same
+# goos/goarch to avoid false regressions.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=benchmarks/baseline.txt
+LATEST=benchmarks/latest.txt
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [ ! -f "$BASELINE" ]; then
+    echo "no $BASELINE - nothing to compare (run scripts/bench-update.sh to create one)"
+    exit 0
+fi
+if [ ! -f "$LATEST" ]; then
+    echo "no $LATEST - run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+awk -v max_pct="$MAX_PCT" '
+    # Benchmark result lines look like:
+    #   BenchmarkSynthesizeAll/workers=4-8   123   456789 ns/op   ...
+    /^Benchmark/ && / ns\/op/ {
+        name = $1
+        # Drop the -GOMAXPROCS suffix so baselines compare across
+        # machines with different core counts (Go omits it when 1).
+        sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/op") { nsop = $(i - 1); break }
+        }
+        if (FNR == NR) {
+            # First file: accumulate the baseline (average over -count runs).
+            base_sum[name] += nsop
+            base_n[name]++
+        } else {
+            lat_sum[name] += nsop
+            lat_n[name]++
+        }
+    }
+    END {
+        fail = 0
+        for (name in lat_sum) {
+            latest = lat_sum[name] / lat_n[name]
+            if (!(name in base_sum)) {
+                printf "NEW       %-60s %12.0f ns/op\n", name, latest
+                continue
+            }
+            base = base_sum[name] / base_n[name]
+            delta = base > 0 ? (latest - base) * 100 / base : 0
+            status = "ok"
+            if (delta > max_pct) { status = "REGRESSED"; fail = 1 }
+            printf "%-9s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", status, name, base, latest, delta
+        }
+        for (name in base_sum) {
+            if (!(name in lat_sum)) printf "MISSING   %-60s (in baseline, not in latest)\n", name
+        }
+        if (fail) {
+            printf "\nFAIL: at least one benchmark regressed by more than %s%%\n", max_pct
+            exit 1
+        }
+        printf "\nPASS: no benchmark regressed by more than %s%%\n", max_pct
+    }
+' "$BASELINE" "$LATEST"

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Promote benchmarks/latest.txt to the committed regression baseline.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ ! -f benchmarks/latest.txt ]; then
+    echo "no benchmarks/latest.txt - run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
+echo "commit benchmarks/baseline.txt to pin the new reference"

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Run the benchmark suite and record results in benchmarks/latest.txt.
+#
+# Environment:
+#   BENCH_PATTERN  regexp of benchmarks to run   (default: all)
+#   BENCH_TIME     -benchtime value              (default: 1s)
+#   BENCH_COUNT    -count value                  (default: 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-.}"
+TIME="${BENCH_TIME:-1s}"
+COUNT="${BENCH_COUNT:-1}"
+
+mkdir -p benchmarks
+OUT=benchmarks/latest.txt
+
+echo "running benchmarks (pattern=$PATTERN benchtime=$TIME count=$COUNT)..."
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$TIME" -count "$COUNT" \
+    ./... | tee "$OUT"
+
+echo ""
+echo "wrote $OUT"
+echo "review, then run scripts/bench-update.sh to promote as the baseline"
