@@ -2,10 +2,11 @@ package bistpath
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Job is one synthesis request in a batch passed to SynthesizeAll.
@@ -16,14 +17,14 @@ type Job struct {
 	// by name.
 	Name string
 	// DFG is the scheduled data flow graph to synthesize. A nil DFG
-	// fails that job with an error; the rest of the batch proceeds.
+	// fails that job with ErrNoDFG; the rest of the batch proceeds.
 	// Synthesis treats the graph as read-only, so one DFG may safely
 	// back several jobs of the same batch (e.g. a mode or width sweep).
 	DFG *DFG
 	// Modules maps op names to module names. A nil map selects
-	// automatic area-driven module binding (SynthesizeAuto).
+	// automatic area-driven module binding.
 	Modules map[string]string
-	// Config controls the run, exactly as in DFG.Synthesize.
+	// Config controls the run, exactly as in DFG.SynthesizeCtx.
 	Config Config
 }
 
@@ -37,16 +38,41 @@ type BatchOptions struct {
 
 // BatchResult is the outcome of one job. Exactly one of Result and Err
 // is non-nil. Results are returned in job order regardless of worker
-// count, and every field of Result is deterministic, so the batch output
-// is byte-identical to a sequential run.
+// count, and every field of Result except Stats is deterministic, so the
+// batch's reports are byte-identical to a sequential run.
 type BatchResult struct {
 	Name   string
 	Result *Result
 	Err    error
+	// Duration is the wall time the job spent on a pool worker (near
+	// zero for jobs refused before starting, e.g. after cancellation).
+	// Like Result.Stats it is timing-dependent and outside the
+	// determinism contract.
+	Duration time.Duration
 }
 
-// errNilJob fails jobs submitted without a DFG.
-var errNilJob = errors.New("bistpath: batch job has no DFG")
+// BatchStats summarizes how well SynthesizeAll kept its worker pool
+// busy. All fields are timing-dependent.
+type BatchStats struct {
+	Workers int           // effective pool size after clamping
+	Wall    time.Duration // batch wall time
+	Busy    time.Duration // summed per-job durations across workers
+}
+
+// Utilization returns the fraction of the pool's capacity that was
+// synthesizing, in (0, 1]: Busy / (Wall × Workers). A value well below 1
+// on a saturated machine means the batch is limited by job granularity,
+// not by the pool.
+func (s BatchStats) Utilization() float64 {
+	if s.Workers <= 0 || s.Wall <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
 
 // SynthesizeAll synthesizes every job on a bounded worker pool and
 // returns one BatchResult per job, in job order. The context cancels the
@@ -55,12 +81,19 @@ var errNilJob = errors.New("bistpath: batch job has no DFG")
 // and bound polls the context). A panic inside one job is recovered and
 // degrades that single job to an error instead of killing the batch.
 func SynthesizeAll(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
+	results, _ := SynthesizeAllStats(ctx, jobs, opts)
+	return results
+}
+
+// SynthesizeAllStats is SynthesizeAll plus pool-utilization accounting
+// for the run.
+func SynthesizeAllStats(ctx context.Context, jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	results := make([]BatchResult, len(jobs))
 	if len(jobs) == 0 {
-		return results
+		return results, BatchStats{}
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -70,6 +103,8 @@ func SynthesizeAll(ctx context.Context, jobs []Job, opts BatchOptions) []BatchRe
 		workers = len(jobs)
 	}
 
+	start := time.Now()
+	var busy atomic.Int64
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -78,6 +113,7 @@ func SynthesizeAll(ctx context.Context, jobs []Job, opts BatchOptions) []BatchRe
 			defer wg.Done()
 			for i := range idx {
 				results[i] = runJob(ctx, jobs[i])
+				busy.Add(int64(results[i].Duration))
 			}
 		}()
 	}
@@ -100,7 +136,12 @@ feed:
 			results[i] = BatchResult{Name: jobName(jobs[i]), Err: ctx.Err()}
 		}
 	}
-	return results
+	expBatchJobs.Add(int64(len(jobs)))
+	return results, BatchStats{
+		Workers: workers,
+		Wall:    time.Since(start),
+		Busy:    time.Duration(busy.Load()),
+	}
 }
 
 func jobName(j Job) string {
@@ -113,11 +154,14 @@ func jobName(j Job) string {
 	return ""
 }
 
-// runJob synthesizes one job, converting a panic into a per-job error so
-// a single bad design cannot take down the whole batch.
+// runJob synthesizes one job through the single SynthesizeCtx core path,
+// converting a panic into a per-job error so a single bad design cannot
+// take down the whole batch.
 func runJob(ctx context.Context, j Job) (br BatchResult) {
 	br.Name = jobName(j)
+	start := time.Now()
 	defer func() {
+		br.Duration = time.Since(start)
 		if r := recover(); r != nil {
 			br.Result = nil
 			br.Err = fmt.Errorf("bistpath: job %q panicked: %v", br.Name, r)
@@ -128,16 +172,9 @@ func runJob(ctx context.Context, j Job) (br BatchResult) {
 		return br
 	}
 	if j.DFG == nil {
-		br.Err = errNilJob
+		br.Err = ErrNoDFG
 		return br
 	}
-	var res *Result
-	var err error
-	if j.Modules != nil {
-		res, err = j.DFG.SynthesizeCtx(ctx, j.Modules, j.Config)
-	} else {
-		res, err = j.DFG.SynthesizeAutoCtx(ctx, j.Config)
-	}
-	br.Result, br.Err = res, err
+	br.Result, br.Err = j.DFG.SynthesizeCtx(ctx, j.Modules, j.Config)
 	return br
 }

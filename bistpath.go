@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"bistpath/internal/area"
 	"bistpath/internal/bist"
@@ -78,6 +79,10 @@ type Config struct {
 	// documentation on determinism. Batch-level parallelism across
 	// designs (SynthesizeAll) is usually the better lever.
 	Workers int
+	// Observer, when non-nil, receives structured phase and progress
+	// events while the run executes (see Observer's documentation for
+	// the concurrency contract). Nil costs nothing.
+	Observer Observer
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -131,6 +136,12 @@ type Result struct {
 	StyleCounts map[string]int // non-normal styles -> register count
 	// BindingTrace explains each register-binding decision (Config.Trace).
 	BindingTrace []string
+
+	// Stats records per-phase wall times and search/binder effort
+	// counters for this run. It is the one timing-dependent part of a
+	// Result: ReportText never includes it, so reports stay
+	// byte-identical across runs and worker counts.
+	Stats Stats
 
 	dp   *datapath.Datapath
 	plan *bist.Plan
@@ -194,8 +205,10 @@ func (r *Result) StyleSummary() string {
 // synthesize is the internal-type entry point shared by the public
 // wrappers, cmd tools and benchmarks. The context is polled at phase
 // boundaries and inside the BIST branch and bound, so a cancelled run
-// returns ctx.Err() promptly.
-func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+// returns ctx.Err() promptly. Each phase is timed into Result.Stats and
+// reported to cfg.Observer; non-context failures come back as
+// *SynthesisError attributed to the phase that produced them.
+func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (res *Result, retErr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -205,32 +218,71 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := g.Validate(); err != nil {
+	defer func() {
+		if retErr != nil {
+			expSynthErrs.Add(1)
+		}
+	}()
+
+	var st Stats
+	t0 := time.Now()
+	obs := cfg.Observer
+	// phase runs one pipeline stage with timing and observer events; it
+	// wraps errors with phase attribution (context errors pass through).
+	phase := func(p Phase, elapsed *time.Duration, f func() error) error {
+		if obs != nil {
+			obs(Event{Design: g.Name, Kind: PhaseStart, Phase: p})
+		}
+		start := time.Now()
+		err := f()
+		*elapsed = time.Since(start)
+		if obs != nil {
+			obs(Event{Design: g.Name, Kind: PhaseEnd, Phase: p, Elapsed: *elapsed})
+		}
+		return phaseError(g.Name, p, err)
+	}
+
+	if err := phase(PhaseValidate, &st.Validate, func() error {
+		if err := g.Validate(); err != nil {
+			return err
+		}
+		for _, o := range g.Ops() {
+			if o.Step == 0 {
+				return fmt.Errorf("%w: op %q", ErrUnscheduled, o.Name)
+			}
+		}
+		return mb.Validate(g)
+	}); err != nil {
 		return nil, err
 	}
-	if err := mb.Validate(g); err != nil {
-		return nil, err
-	}
+
 	var rb *regassign.Binding
 	var trace []regassign.Decision
-	var err error
-	ropts := regassign.Options{
-		SharingDegree:    cfg.Sharing,
-		CaseOverrides:    cfg.CaseOverrides,
-		AvoidCBILBO:      cfg.AvoidCBILBO,
-		InterconnectTies: cfg.WeightedInterconnect,
-	}
-	switch {
-	case cfg.Mode == TraditionalHLS:
-		rb, err = regassign.Traditional(g)
-	case cfg.Trace:
-		rb, trace, err = regassign.BindTraced(g, mb, ropts)
-	default:
-		rb, err = regassign.Bind(g, mb, ropts)
-	}
-	if err != nil {
+	var rm regassign.Metrics
+	if err := phase(PhaseRegisterBind, &st.RegisterBind, func() error {
+		ropts := regassign.Options{
+			SharingDegree:    cfg.Sharing,
+			CaseOverrides:    cfg.CaseOverrides,
+			AvoidCBILBO:      cfg.AvoidCBILBO,
+			InterconnectTies: cfg.WeightedInterconnect,
+			Metrics:          &rm,
+		}
+		var err error
+		switch {
+		case cfg.Mode == TraditionalHLS:
+			rb, err = regassign.Traditional(g)
+		case cfg.Trace:
+			rb, trace, err = regassign.BindTraced(g, mb, ropts)
+		default:
+			rb, err = regassign.Bind(g, mb, ropts)
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
+	st.Lemma2Checks = rm.Lemma2Checks
+	st.CaseOverrides = rm.CaseOverrides
+
 	sh := regassign.NewSharing(g, mb)
 	var shw *regassign.Sharing
 	if cfg.WeightedInterconnect {
@@ -239,23 +291,51 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ib, err := interconnect.Bind(g, mb, rb, shw)
-	if err != nil {
+	var ib *interconnect.Binding
+	if err := phase(PhaseInterconnect, &st.Interconnect, func() error {
+		var err error
+		ib, err = interconnect.Bind(g, mb, rb, shw)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	dp, err := datapath.Build(g, mb, rb, ib, cfg.Width)
-	if err != nil {
+
+	var dp *datapath.Datapath
+	if err := phase(PhaseDatapath, &st.Datapath, func() error {
+		var err error
+		dp, err = datapath.Build(g, mb, rb, ib, cfg.Width)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	plan, err := bist.OptimizeCtx(ctx, dp, bist.Options{
-		Model:            area.Default(cfg.Width),
-		AllowPadHeads:    cfg.AllowPadTPG,
-		MinimizeSessions: cfg.MinimizeSessions,
-		Workers:          cfg.Workers,
-	})
-	if err != nil {
+
+	var plan *bist.Plan
+	var bm bist.Metrics
+	if err := phase(PhaseBISTSearch, &st.BISTSearch, func() error {
+		bopts := bist.Options{
+			Model:            area.Default(cfg.Width),
+			AllowPadHeads:    cfg.AllowPadTPG,
+			MinimizeSessions: cfg.MinimizeSessions,
+			Workers:          cfg.Workers,
+			Metrics:          &bm,
+		}
+		if obs != nil {
+			bopts.Progress = func(nodes int64) {
+				obs(Event{Design: g.Name, Kind: SearchProgress, Phase: PhaseBISTSearch, SearchNodes: nodes})
+			}
+		}
+		var err error
+		plan, err = bist.OptimizeCtx(ctx, dp, bopts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
+	st.SearchNodes = bm.Nodes
+	st.BoundPrunes = bm.BoundPrunes
+	st.IncumbentUpdates = bm.Incumbents
+	st.EmbeddingsEnumerated = bm.Embeddings
+	st.SearchWorkers = bm.Workers
+
 	res, err := assemble(g, mb, rb, dp, plan, sh, cfg)
 	if err != nil {
 		return nil, err
@@ -263,6 +343,9 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	for _, d := range trace {
 		res.BindingTrace = append(res.BindingTrace, d.Note)
 	}
+	st.Total = time.Since(t0)
+	res.Stats = st
+	recordRun(&st)
 	return res, nil
 }
 
@@ -321,11 +404,31 @@ func assemble(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding,
 			res.StyleCounts[s.String()]++
 		}
 	}
-	res.Sessions = plan.Sessions
-	sort.Slice(res.Sessions, func(i, j int) bool {
-		return res.Sessions[i][0] < res.Sessions[j][0]
-	})
+	res.Sessions = sortSessions(plan.Sessions)
 	return res, nil
+}
+
+// sortSessions deep-copies a session schedule and orders it canonically
+// by first module name. The copy matters: the input aliases the
+// optimizer's Plan, which the Result keeps for later queries and must
+// not be mutated. Empty sessions (possible for module-free plans) sort
+// first instead of panicking.
+func sortSessions(sessions [][]string) [][]string {
+	out := make([][]string, len(sessions))
+	for i, s := range sessions {
+		out[i] = append([]string(nil), s...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case len(a) == 0:
+			return len(b) != 0
+		case len(b) == 0:
+			return false
+		}
+		return a[0] < b[0]
+	})
+	return out
 }
 
 // TestCycles estimates the BIST test time in clock cycles for the given

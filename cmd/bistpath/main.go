@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -60,7 +61,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N] [-netlist] [-dot]
+  bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N] [-stats] [-json] [-netlist] [-dot]
   bistpath sim   -bench <name> | -dfg <file> -inputs a=1,b=2,...
   bistpath cover -bench <name> | -dfg <file> [-patterns N] [-width N]
   bistpath emit  -bench <name> | -dfg <file> [-format rtl|gates] [-module NAME]
@@ -107,6 +108,8 @@ func cmdSynth(args []string) error {
 	dot := fs.Bool("dot", false, "print a Graphviz rendering of the data path")
 	traceFlag := fs.Bool("trace", false, "explain every register-binding decision")
 	gantt := fs.Bool("gantt", false, "print the register/module occupancy chart")
+	statsFlag := fs.Bool("stats", false, "print per-phase times and search counters after each report")
+	jsonFlag := fs.Bool("json", false, "emit the machine-readable JSON result (an array for multi-design runs; includes stats)")
 	fs.Parse(args)
 
 	cfg := bistpath.DefaultConfig()
@@ -134,14 +137,33 @@ func cmdSynth(args []string) error {
 			}
 			batch = append(batch, bistpath.Job{Name: name, DFG: d, Modules: mods, Config: cfg})
 		}
+		var docs []json.RawMessage
 		for i, br := range bistpath.SynthesizeAll(context.Background(), batch, bistpath.BatchOptions{Workers: *jobs}) {
 			if br.Err != nil {
 				return fmt.Errorf("%s: %w", br.Name, br.Err)
+			}
+			if *jsonFlag {
+				doc, err := br.Result.JSON()
+				if err != nil {
+					return err
+				}
+				docs = append(docs, doc)
+				continue
 			}
 			if i > 0 {
 				fmt.Println()
 			}
 			printResult(br.Result)
+			if *statsFlag {
+				fmt.Print(br.Result.Stats)
+			}
+		}
+		if *jsonFlag {
+			out, err := json.MarshalIndent(docs, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
 		}
 		return nil
 	}
@@ -154,7 +176,18 @@ func cmdSynth(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *jsonFlag {
+		doc, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(doc))
+		return nil
+	}
 	printResult(res)
+	if *statsFlag {
+		fmt.Print(res.Stats)
+	}
 	if *traceFlag {
 		fmt.Println("  binding decisions:")
 		for i, note := range res.BindingTrace {

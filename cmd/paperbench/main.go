@@ -9,6 +9,7 @@
 //	paperbench -table 1   # Table I only (1, 2 or 3)
 //	paperbench -fig 4     # Figure 1..6
 //	paperbench -ablation  # mechanism ablation sweep on random DFGs
+//	paperbench -stats     # observability table (phase times, search counters)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"bistpath"
 	"bistpath/internal/area"
@@ -47,11 +49,12 @@ func main() {
 	widths := flag.Bool("widths", false, "run the datapath-width sweep")
 	atpgFlag := flag.Bool("atpg", false, "run the fault-efficiency study (deterministic top-up + redundancy proofs)")
 	sessions := flag.Bool("sessions", false, "run the test-time/session study")
+	statsFlag := flag.Bool("stats", false, "run the synthesis observability table (phase times + search counters)")
 	jflag := flag.Int("j", 0, "parallel synthesis workers for the table sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
 	batchWorkers = *jflag
 
-	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions
+	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag
 	run := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -97,6 +100,47 @@ func main() {
 	if all || *sessions {
 		run(sessionTable())
 	}
+	if *statsFlag { // explicit only: wall times are not reproducible output
+		run(statsTable())
+	}
+}
+
+// statsTable surfaces the observability layer: where each benchmark's
+// synthesis spends its time and how hard the search layers work. The
+// counters are deterministic (sequential search); the durations are wall
+// times and vary run to run, which is why this table is not part of the
+// default paper regeneration.
+func statsTable() error {
+	t := report.NewTable("Synthesis observability — phase times (wall) and search effort",
+		"DFG", "total", "bind", "bist", "nodes", "prunes", "incumbents", "embeddings", "L2 checks", "overrides", "pool util")
+	var jobs []bistpath.Job
+	for _, b := range benchdata.All() {
+		d, mods, err := bistpath.Benchmark(b.Name)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, bistpath.Job{Name: b.Name, DFG: d, Modules: mods, Config: bistpath.DefaultConfig()})
+	}
+	results, bs := bistpath.SynthesizeAllStats(context.Background(), jobs, bistpath.BatchOptions{Workers: batchWorkers})
+	util := fmt.Sprintf("%.0f%% (%d workers)", bs.Utilization()*100, bs.Workers)
+	for i, br := range results {
+		if br.Err != nil {
+			return fmt.Errorf("%s: %w", br.Name, br.Err)
+		}
+		s := br.Result.Stats
+		cell := ""
+		if i == 0 {
+			cell = util
+		}
+		t.AddRowf(br.Name,
+			s.Total.Round(10*time.Microsecond).String(),
+			s.RegisterBind.Round(10*time.Microsecond).String(),
+			s.BISTSearch.Round(10*time.Microsecond).String(),
+			s.SearchNodes, s.BoundPrunes, s.IncumbentUpdates,
+			s.EmbeddingsEnumerated, s.Lemma2Checks, s.CaseOverrides, cell)
+	}
+	fmt.Println(t)
+	return nil
 }
 
 // sessionTable is an extension: the paper notes that modules need not be

@@ -102,33 +102,47 @@ func (d *DFG) AutoScheduleForce(latency int) error {
 	return sched.Apply(d.g, steps)
 }
 
-// Synthesize runs the full allocation flow with an explicit operation to
-// module assignment (every op name must be mapped; ops sharing a module
-// name share the functional unit).
-func (d *DFG) Synthesize(opToModule map[string]string, cfg Config) (*Result, error) {
-	return d.SynthesizeCtx(context.Background(), opToModule, cfg)
-}
-
-// SynthesizeCtx is Synthesize with cancellation: the flow polls ctx at
-// phase boundaries and inside the BIST branch and bound, returning
-// ctx.Err() promptly when the context is cancelled or times out.
+// SynthesizeCtx is the single core entry point of the synthesis API:
+// every other Synthesize* method is a thin wrapper around it. It runs
+// the full allocation flow — validation, register binding, interconnect
+// binding, data path construction and the BIST search — and returns the
+// completed Result.
+//
+// opToModule maps operation names to module names (ops sharing a module
+// name share the functional unit; every op must be mapped). A nil map
+// selects automatic area-driven module binding over one functional-unit
+// class per operation kind.
+//
+// The flow polls ctx at phase boundaries and inside the BIST branch and
+// bound, returning ctx.Err() promptly when the context is cancelled or
+// times out; any other failure is a *SynthesisError attributed to the
+// pipeline phase that produced it. The Result is deterministic: the same
+// DFG, module map and Config produce byte-identical ReportText for any
+// Config.Workers value, with all timing-dependent measurements isolated
+// in Result.Stats.
 func (d *DFG) SynthesizeCtx(ctx context.Context, opToModule map[string]string, cfg Config) (*Result, error) {
-	mb, err := modassign.FromMap(d.g, opToModule)
+	// Catch unscheduled graphs before module binding so both the explicit
+	// and automatic paths fail with ErrUnscheduled rather than a
+	// binder-specific message.
+	for _, o := range d.g.Ops() {
+		if o.Step == 0 {
+			return nil, phaseError(d.g.Name, PhaseValidate,
+				fmt.Errorf("%w: op %q", ErrUnscheduled, o.Name))
+		}
+	}
+	mb, err := d.moduleBinding(opToModule)
 	if err != nil {
-		return nil, err
+		return nil, phaseError(d.g.Name, PhaseValidate, err)
 	}
 	return synthesize(ctx, d.g, mb, cfg)
 }
 
-// SynthesizeAuto runs the full flow with area-driven module binding over
-// one functional-unit class per operation kind.
-func (d *DFG) SynthesizeAuto(cfg Config) (*Result, error) {
-	return d.SynthesizeAutoCtx(context.Background(), cfg)
-}
-
-// SynthesizeAutoCtx is SynthesizeAuto with cancellation (see
-// SynthesizeCtx).
-func (d *DFG) SynthesizeAutoCtx(ctx context.Context, cfg Config) (*Result, error) {
+// moduleBinding resolves an explicit op→module map (nil = automatic
+// area-driven binding) into a module binding.
+func (d *DFG) moduleBinding(opToModule map[string]string) (*modassign.Binding, error) {
+	if opToModule != nil {
+		return modassign.FromMap(d.g, opToModule)
+	}
 	kinds := make(map[dfg.Kind]bool)
 	for _, op := range d.g.Ops() {
 		kinds[op.Kind] = true
@@ -142,11 +156,23 @@ func (d *DFG) SynthesizeAutoCtx(ctx context.Context, cfg Config) (*Result, error
 	for i, k := range ks {
 		classes[i] = modassign.UnitClass(k)
 	}
-	mb, err := modassign.Bind(d.g, classes)
-	if err != nil {
-		return nil, err
-	}
-	return synthesize(ctx, d.g, mb, cfg)
+	return modassign.Bind(d.g, classes)
+}
+
+// Synthesize is SynthesizeCtx without cancellation.
+func (d *DFG) Synthesize(opToModule map[string]string, cfg Config) (*Result, error) {
+	return d.SynthesizeCtx(context.Background(), opToModule, cfg)
+}
+
+// SynthesizeAuto is SynthesizeCtx with automatic module binding and no
+// cancellation.
+func (d *DFG) SynthesizeAuto(cfg Config) (*Result, error) {
+	return d.SynthesizeCtx(context.Background(), nil, cfg)
+}
+
+// SynthesizeAutoCtx is SynthesizeCtx with automatic module binding.
+func (d *DFG) SynthesizeAutoCtx(ctx context.Context, cfg Config) (*Result, error) {
+	return d.SynthesizeCtx(ctx, nil, cfg)
 }
 
 // BenchmarkNames lists the built-in DAC'95 evaluation benchmarks.
@@ -163,7 +189,7 @@ func BenchmarkNames() []string {
 func Benchmark(name string) (*DFG, map[string]string, error) {
 	b := benchdata.ByName(name)
 	if b == nil {
-		return nil, nil, fmt.Errorf("bistpath: unknown benchmark %q (have %v)", name, BenchmarkNames())
+		return nil, nil, fmt.Errorf("%w %q (have %v)", ErrUnknownBenchmark, name, BenchmarkNames())
 	}
 	mods := make(map[string]string, len(b.OpModule))
 	for k, v := range b.OpModule {

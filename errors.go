@@ -1,0 +1,55 @@
+package bistpath
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the public API. They are wrapped with context at the
+// failure site, so match them with errors.Is, not equality.
+var (
+	// ErrUnknownBenchmark is returned by Benchmark for a name that is
+	// not one of the built-in DAC'95 designs.
+	ErrUnknownBenchmark = errors.New("bistpath: unknown benchmark")
+
+	// ErrUnscheduled is returned by synthesis when the DFG still has
+	// unscheduled operations (control step 0). Run AutoSchedule or
+	// AutoScheduleForce first.
+	ErrUnscheduled = errors.New("bistpath: DFG has unscheduled operations")
+
+	// ErrNoDFG is returned for a batch Job submitted without a DFG.
+	ErrNoDFG = errors.New("bistpath: job has no DFG")
+)
+
+// SynthesisError attributes a synthesis failure to the pipeline phase
+// that produced it. It wraps the underlying cause, so both
+// errors.As(err, *SynthesisError) and errors.Is against the cause work:
+//
+//	var se *bistpath.SynthesisError
+//	if errors.As(err, &se) {
+//	    log.Printf("%s failed in the %s phase: %v", se.Design, se.Phase, se.Err)
+//	}
+//
+// Context cancellation is never wrapped: a cancelled run returns
+// ctx.Err() itself.
+type SynthesisError struct {
+	Design string // DFG name
+	Phase  Phase  // pipeline phase that failed
+	Err    error  // underlying cause
+}
+
+func (e *SynthesisError) Error() string {
+	return fmt.Sprintf("bistpath: %s: %s phase: %v", e.Design, e.Phase, e.Err)
+}
+
+func (e *SynthesisError) Unwrap() error { return e.Err }
+
+// phaseError wraps err with phase attribution, passing context errors
+// (and nil) through untouched so callers can compare against ctx.Err().
+func phaseError(design string, p Phase, err error) error {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &SynthesisError{Design: design, Phase: p, Err: err}
+}

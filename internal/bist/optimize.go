@@ -61,6 +61,26 @@ type Options struct {
 	// Any worker count returns the identical Plan: ties are broken by the
 	// canonical depth-first search order, not by arrival order.
 	Workers int
+	// Metrics, when non-nil, is filled with search-effort statistics on
+	// return (the Plan itself stays deterministic either way).
+	Metrics *Metrics
+	// Progress, when non-nil, is called from inside the search with the
+	// cumulative node count, once per node-budget poll interval. It may
+	// be invoked concurrently from several worker goroutines and must
+	// not block.
+	Progress func(nodes int64)
+}
+
+// Metrics reports how hard one OptimizeCtx search worked. Every field is
+// deterministic for a sequential search (Workers <= 1); under parallel
+// search Nodes, BoundPrunes and Incumbents depend on how quickly the
+// shared bound propagated, while Embeddings and Workers stay fixed.
+type Metrics struct {
+	Nodes       int64 // branch-and-bound nodes expanded
+	BoundPrunes int64 // subtrees cut by the incumbent bound
+	Incumbents  int64 // incumbent improvements taken
+	Embeddings  int64 // candidate embeddings enumerated across modules
+	Workers     int   // effective worker count after clamping
 }
 
 // DefaultOptions returns the standard configuration for the given width.
@@ -126,6 +146,10 @@ type worker struct {
 	cur    map[string]Embedding
 	branch int
 	best   solution
+	// Effort counters stay worker-local (plain increments on the search
+	// hot path, no shared-cache traffic) and are summed after the join.
+	prunes     int64
+	incumbents int64
 }
 
 func (w *worker) dfs(i int) {
@@ -141,6 +165,9 @@ func (w *worker) dfs(i int) {
 			sh.cancelled.Store(true)
 		default:
 		}
+		if sh.opts.Progress != nil {
+			sh.opts.Progress(n)
+		}
 	}
 	if sh.cancelled.Load() || sh.inexact.Load() {
 		return
@@ -149,12 +176,14 @@ func (w *worker) dfs(i int) {
 	if packed := sh.bound.Load(); packed != noBound {
 		bc, bb := unpackBound(packed)
 		if cost > bc {
+			w.prunes++
 			return // adding modules never lowers cost
 		}
 		// An equal-cost completion can only win the deterministic
 		// tie-break from a strictly earlier first-level branch (unless
 		// the session tie-break still needs the leaves enumerated).
 		if cost == bc && !sh.opts.MinimizeSessions && w.branch >= bb && i < len(sh.mods) {
+			w.prunes++
 			return
 		}
 	}
@@ -199,6 +228,7 @@ func (w *worker) take(cost, sessions int) {
 		embs[k] = v
 	}
 	w.best = solution{ok: true, cost: cost, sessions: sessions, branch: w.branch, embs: embs}
+	w.incumbents++
 	packed := packBound(cost, w.branch)
 	for {
 		old := w.sh.bound.Load()
@@ -270,11 +300,13 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		opts.NodeBudget = 2_000_000
 	}
 	var mods []modEmb
+	var embTotal int64
 	for _, m := range dp.Modules {
 		embs := Embeddings(dp, m.Name, opts.AllowPadHeads)
 		if len(embs) == 0 {
 			return nil, fmt.Errorf("bist: module %s has no BIST embedding (no register I-paths)", m.Name)
 		}
+		embTotal += int64(len(embs))
 		mods = append(mods, modEmb{m.Name, embs})
 	}
 	// Most-constrained modules first makes pruning effective.
@@ -305,6 +337,9 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	bestCost := -1
 	exact := true
 
+	if opts.Metrics != nil {
+		*opts.Metrics = Metrics{Embeddings: embTotal, Workers: 1}
+	}
 	if len(mods) == 0 {
 		bestCost = 0
 	} else {
@@ -341,6 +376,14 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		}
 		if sh.cancelled.Load() {
 			return nil, ctx.Err()
+		}
+		if opts.Metrics != nil {
+			opts.Metrics.Nodes = sh.nodes.Load()
+			for _, w := range locals {
+				opts.Metrics.BoundPrunes += w.prunes
+				opts.Metrics.Incumbents += w.incumbents
+			}
+			opts.Metrics.Workers = nw
 		}
 		exact = !sh.inexact.Load()
 

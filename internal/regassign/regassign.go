@@ -124,6 +124,17 @@ type Options struct {
 	CaseOverrides    bool // Case 1 / Case 2 diversion to consolidating registers
 	AvoidCBILBO      bool // Lemma 2 forced-CBILBO avoidance (Section III.B)
 	InterconnectTies bool // break remaining ties by estimated mux cost (Section IV)
+	// Metrics, when non-nil, counts the binder's testability-guided
+	// decisions as it colors (the binding itself is unaffected).
+	Metrics *Metrics
+}
+
+// Metrics counts the work the binder's testability mechanisms did. The
+// binder is deterministic, so the counts are a pure function of the
+// graph, module binding and option toggles.
+type Metrics struct {
+	Lemma2Checks  int64 // Lemma-2 evaluations of (partial) assignments
+	CaseOverrides int64 // Case 1/2 diversions that changed the primary choice
 }
 
 // DefaultOptions enables every mechanism (the paper's configuration).
@@ -218,6 +229,9 @@ func bindInternal(g *dfg.Graph, mb *modassign.Binding, opts Options, trace *[]De
 			continue
 		}
 		choice := chooseRegister(g, mb, sh, ic, regs, cands, v, minRegs, opts, &d)
+		if d.Diverted && opts.Metrics != nil {
+			opts.Metrics.CaseOverrides++
+		}
 		if choice < 0 {
 			// Every candidate would force a CBILBO (Lemma 2) and the
 			// register budget is not yet exhausted: open a fresh register.
@@ -314,11 +328,20 @@ func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interc
 	// do, allow the assignment (paper: avoided only when possible without
 	// an extra register).
 	if opts.AvoidCBILBO {
+		// checks tallies the ForcedCount evaluations locally and folds
+		// into Metrics once, keeping the loop free of pointer tests.
+		checks := int64(1)
+		defer func() {
+			if opts.Metrics != nil {
+				opts.Metrics.Lemma2Checks += checks
+			}
+		}()
 		base := ForcedCount(g, mb, regs)
 		for _, r := range ranked {
 			trial := make([][]string, len(regs))
 			copy(trial, regs)
 			trial[r] = append(append([]string(nil), regs[r]...), v)
+			checks++
 			if ForcedCount(g, mb, trial) <= base {
 				return r
 			}

@@ -1,0 +1,117 @@
+package bistpath
+
+import "encoding/json"
+
+// ResultSchemaVersion is the version tag embedded in Result.JSON()
+// output ("schema"). It is bumped whenever a field is removed or changes
+// meaning; adding fields is not a version bump.
+const ResultSchemaVersion = 1
+
+// The machine-readable result schema. Every field is stable and
+// documented here; Result.JSON never leaks unexported state. All fields
+// except "stats" are deterministic (same design, same config → same
+// bytes); "stats" carries the timing-dependent measurements and the
+// search counters described on Stats.
+type resultJSON struct {
+	Schema         int            `json:"schema"`
+	Name           string         `json:"name"`
+	Mode           string         `json:"mode"`  // "testable" | "traditional"
+	Width          int            `json:"width"` // datapath bit width
+	Registers      []registerJSON `json:"registers"`
+	Modules        []moduleJSON   `json:"modules"`
+	MuxCount       int            `json:"mux_count"`
+	MuxExtraInputs int            `json:"mux_extra_inputs"`
+	BaseArea       int            `json:"base_area"` // gate equivalents before BIST
+	BISTArea       int            `json:"bist_area"` // gate equivalents after BIST
+	OverheadPct    float64        `json:"overhead_pct"`
+	// BIST resource mix: non-normal style -> register count.
+	StyleCounts map[string]int `json:"style_counts"`
+	// Test session schedule: module names tested concurrently.
+	Sessions [][]string `json:"sessions"`
+	Stats    statsJSON  `json:"stats"`
+}
+
+type registerJSON struct {
+	Name          string   `json:"name"`
+	Vars          []string `json:"vars"`
+	Style         string   `json:"style"` // "REG", "TPG", "SA", "TPG/SA", "CBILBO"
+	SharingDegree int      `json:"sharing_degree"`
+}
+
+type moduleJSON struct {
+	Name         string   `json:"name"`
+	Class        string   `json:"class"`
+	Ops          []string `json:"ops"`
+	Embedding    string   `json:"embedding"`
+	ForcedCBILBO bool     `json:"forced_cbilbo"`
+}
+
+// statsJSON mirrors Stats. The *_ns fields are wall times in nanoseconds
+// and vary run to run; the counters are deterministic for sequential
+// runs (see Stats).
+type statsJSON struct {
+	TotalNS              int64 `json:"total_ns"`
+	ValidateNS           int64 `json:"validate_ns"`
+	RegisterBindNS       int64 `json:"register_bind_ns"`
+	InterconnectNS       int64 `json:"interconnect_ns"`
+	DatapathNS           int64 `json:"datapath_ns"`
+	BISTSearchNS         int64 `json:"bist_search_ns"`
+	SearchNodes          int64 `json:"search_nodes"`
+	BoundPrunes          int64 `json:"bound_prunes"`
+	IncumbentUpdates     int64 `json:"incumbent_updates"`
+	EmbeddingsEnumerated int64 `json:"embeddings_enumerated"`
+	SearchWorkers        int   `json:"search_workers"`
+	Lemma2Checks         int64 `json:"lemma2_checks"`
+	CaseOverrides        int64 `json:"case_overrides"`
+}
+
+// JSON renders the result as an indented, machine-readable JSON document
+// with a stable schema (see resultJSON above and the README's
+// Observability section). Everything except the "stats" object is
+// deterministic; consumers diffing results across runs should ignore
+// stats' *_ns fields.
+func (r *Result) JSON() ([]byte, error) {
+	doc := resultJSON{
+		Schema:         ResultSchemaVersion,
+		Name:           r.Name,
+		Mode:           r.Mode.String(),
+		Width:          r.Width,
+		Registers:      make([]registerJSON, 0, len(r.Registers)),
+		Modules:        make([]moduleJSON, 0, len(r.Modules)),
+		MuxCount:       r.MuxCount,
+		MuxExtraInputs: r.MuxExtraInputs,
+		BaseArea:       r.BaseArea,
+		BISTArea:       r.BISTArea,
+		OverheadPct:    r.OverheadPct,
+		StyleCounts:    r.StyleCounts,
+		Sessions:       r.Sessions,
+		Stats: statsJSON{
+			TotalNS:              int64(r.Stats.Total),
+			ValidateNS:           int64(r.Stats.Validate),
+			RegisterBindNS:       int64(r.Stats.RegisterBind),
+			InterconnectNS:       int64(r.Stats.Interconnect),
+			DatapathNS:           int64(r.Stats.Datapath),
+			BISTSearchNS:         int64(r.Stats.BISTSearch),
+			SearchNodes:          r.Stats.SearchNodes,
+			BoundPrunes:          r.Stats.BoundPrunes,
+			IncumbentUpdates:     r.Stats.IncumbentUpdates,
+			EmbeddingsEnumerated: r.Stats.EmbeddingsEnumerated,
+			SearchWorkers:        r.Stats.SearchWorkers,
+			Lemma2Checks:         r.Stats.Lemma2Checks,
+			CaseOverrides:        r.Stats.CaseOverrides,
+		},
+	}
+	if doc.Sessions == nil {
+		doc.Sessions = [][]string{}
+	}
+	if doc.StyleCounts == nil {
+		doc.StyleCounts = map[string]int{}
+	}
+	for _, reg := range r.Registers {
+		doc.Registers = append(doc.Registers, registerJSON(reg))
+	}
+	for _, m := range r.Modules {
+		doc.Modules = append(doc.Modules, moduleJSON(m))
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

@@ -1,0 +1,55 @@
+// jsoncheck validates that stdin is well-formed JSON and, for bistpath
+// result documents, that the schema essentials are present. CI pipes
+// `bistpath synth -bench all -json` through it so a schema regression
+// fails the build rather than a downstream consumer.
+//
+// Accepts either a single result object or an array of them (the
+// -bench all form). Exits non-zero with a diagnostic on any problem.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal("read stdin: %v", err)
+	}
+	var docs []map[string]any
+	if err := json.Unmarshal(data, &docs); err != nil {
+		var one map[string]any
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			fatal("not valid JSON (neither array nor object): %v", err)
+		}
+		docs = []map[string]any{one}
+	}
+	if len(docs) == 0 {
+		fatal("empty result set")
+	}
+	required := []string{"schema", "name", "mode", "width", "registers", "modules",
+		"base_area", "bist_area", "overhead_pct", "sessions", "stats"}
+	for i, doc := range docs {
+		for _, key := range required {
+			if _, ok := doc[key]; !ok {
+				fatal("result %d: missing key %q", i, key)
+			}
+		}
+		stats, ok := doc["stats"].(map[string]any)
+		if !ok {
+			fatal("result %d (%v): stats is not an object", i, doc["name"])
+		}
+		if v, _ := stats["search_nodes"].(float64); v <= 0 {
+			fatal("result %d (%v): stats.search_nodes = %v, want > 0", i, doc["name"], stats["search_nodes"])
+		}
+	}
+	fmt.Printf("jsoncheck: %d result document(s) ok\n", len(docs))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsoncheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+package bistpath
+
+import (
+	"expvar"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one stage of the synthesis pipeline, in execution
+// order. It labels phase timings in Stats, observer events, and the
+// phase attribution of SynthesisError.
+type Phase int
+
+// The pipeline phases.
+const (
+	// PhaseValidate covers input checking: DFG structural validation,
+	// schedule completeness and the module-binding consistency check.
+	PhaseValidate Phase = iota
+	// PhaseRegisterBind is the paper's register binder (or the
+	// traditional baseline binder).
+	PhaseRegisterBind
+	// PhaseInterconnect is the minimum-connectivity interconnect binding.
+	PhaseInterconnect
+	// PhaseDatapath builds the structural data path from the bindings.
+	PhaseDatapath
+	// PhaseBISTSearch is the branch-and-bound BIST embedding search plus
+	// session scheduling.
+	PhaseBISTSearch
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseValidate:
+		return "validate"
+	case PhaseRegisterBind:
+		return "register-bind"
+	case PhaseInterconnect:
+		return "interconnect"
+	case PhaseDatapath:
+		return "datapath"
+	case PhaseBISTSearch:
+		return "bist-search"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Stats records where one synthesis run spent its time and how hard the
+// search layers worked. It lives on Result.Stats, deliberately outside
+// the determinism contract of ReportText: the durations are wall times
+// and vary run to run, while the counters are exact replays of the
+// algorithms' work — for a sequential run (Config.Workers <= 1) every
+// counter is deterministic, and under parallel search only SearchNodes,
+// BoundPrunes and IncumbentUpdates may vary (bound propagation timing
+// changes how much of the tree is cut).
+type Stats struct {
+	// Wall times. Total covers the whole run including result assembly,
+	// so the per-phase values sum to slightly less than Total.
+	Total        time.Duration
+	Validate     time.Duration
+	RegisterBind time.Duration
+	Interconnect time.Duration
+	Datapath     time.Duration
+	BISTSearch   time.Duration
+
+	// BIST branch-and-bound effort.
+	SearchNodes          int64 // search nodes expanded
+	BoundPrunes          int64 // subtrees cut by the incumbent bound
+	IncumbentUpdates     int64 // incumbent improvements taken
+	EmbeddingsEnumerated int64 // candidate embeddings across all modules
+	SearchWorkers        int   // effective worker count after clamping
+
+	// Register binder effort (zero in traditional mode).
+	Lemma2Checks  int64 // trial Lemma-2 evaluations during coloring
+	CaseOverrides int64 // Case 1/2 diversions that changed the choice
+}
+
+// PhaseSum returns the sum of the per-phase wall times. It is at most
+// Total (result assembly is not attributed to any phase).
+func (s Stats) PhaseSum() time.Duration {
+	return s.Validate + s.RegisterBind + s.Interconnect + s.Datapath + s.BISTSearch
+}
+
+// String renders a compact human-readable summary (the cmd tools' -stats
+// format).
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  stats: total %v (validate %v, bind %v, interconnect %v, datapath %v, bist %v)\n",
+		s.Total, s.Validate, s.RegisterBind, s.Interconnect, s.Datapath, s.BISTSearch)
+	fmt.Fprintf(&sb, "    search: %d nodes, %d prunes, %d incumbents, %d embeddings, %d worker(s)\n",
+		s.SearchNodes, s.BoundPrunes, s.IncumbentUpdates, s.EmbeddingsEnumerated, s.SearchWorkers)
+	fmt.Fprintf(&sb, "    binder: %d Lemma-2 checks, %d case overrides\n",
+		s.Lemma2Checks, s.CaseOverrides)
+	return sb.String()
+}
+
+// EventKind distinguishes observer events.
+type EventKind int
+
+// Observer event kinds.
+const (
+	// PhaseStart fires when a pipeline phase begins.
+	PhaseStart EventKind = iota
+	// PhaseEnd fires when a pipeline phase completes (Elapsed is set).
+	PhaseEnd
+	// SearchProgress fires periodically from inside the BIST branch and
+	// bound (SearchNodes is the cumulative node count so far). These
+	// events come from search worker goroutines.
+	SearchProgress
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case PhaseStart:
+		return "phase-start"
+	case PhaseEnd:
+		return "phase-end"
+	case SearchProgress:
+		return "search-progress"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one structured observation of a synthesis run in flight,
+// delivered to Config.Observer.
+type Event struct {
+	Design  string        // DFG name
+	Kind    EventKind     // what happened
+	Phase   Phase         // which pipeline phase
+	Elapsed time.Duration // PhaseEnd: the phase's wall time
+	// SearchNodes is the cumulative branch-and-bound node count
+	// (SearchProgress events only).
+	SearchNodes int64
+}
+
+// Observer receives structured progress events during synthesis. Set it
+// on Config to watch a run; leave it nil for the zero-overhead default.
+// PhaseStart/PhaseEnd events arrive on the synthesizing goroutine in
+// pipeline order; SearchProgress events may arrive concurrently from
+// several search workers, so an Observer must be safe for concurrent
+// use. Observers must not block: they run inline with synthesis.
+type Observer func(Event)
+
+// Package-level cumulative counters, exported through expvar so a
+// long-running process embedding the library is scrapeable (import
+// net/http and expvar's /debug/vars handler does the rest; see the
+// README's Observability section).
+var (
+	expSyntheses  = expvar.NewInt("bistpath.syntheses")
+	expSynthErrs  = expvar.NewInt("bistpath.synthesis_errors")
+	expSynthNanos = expvar.NewInt("bistpath.synthesis_nanos")
+	expNodes      = expvar.NewInt("bistpath.search_nodes")
+	expPrunes     = expvar.NewInt("bistpath.bound_prunes")
+	expEmbeddings = expvar.NewInt("bistpath.embeddings_enumerated")
+	expBatchJobs  = expvar.NewInt("bistpath.batch_jobs")
+)
+
+// recordRun folds one completed run into the cumulative expvar counters.
+func recordRun(s *Stats) {
+	expSyntheses.Add(1)
+	expSynthNanos.Add(int64(s.Total))
+	expNodes.Add(s.SearchNodes)
+	expPrunes.Add(s.BoundPrunes)
+	expEmbeddings.Add(s.EmbeddingsEnumerated)
+}
