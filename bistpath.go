@@ -145,6 +145,8 @@ type Result struct {
 
 	dp   *datapath.Datapath
 	plan *bist.Plan
+	mb   *modassign.Binding
+	cfg  Config
 }
 
 // NumBISTRegisters returns how many registers were modified for test.
@@ -360,6 +362,8 @@ func assemble(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding,
 		StyleCounts: make(map[string]int),
 		dp:          dp,
 		plan:        plan,
+		mb:          mb,
+		cfg:         cfg,
 	}
 	for _, r := range rb.Registers {
 		style := area.Normal

@@ -12,6 +12,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,8 @@ func main() {
 		err = cmdGatesim(os.Args[2:])
 	case "schedule":
 		err = cmdSchedule(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
 	case "list":
 		for _, n := range bistpath.BenchmarkNames() {
 			fmt.Println(n)
@@ -67,6 +70,8 @@ func usage() {
   bistpath emit  -bench <name> | -dfg <file> [-format rtl|gates] [-module NAME]
   bistpath gatesim -bench <name> | -dfg <file> [-patterns N]
   bistpath schedule -dfg <file> [-latency N]   (compare ASAP/ALAP/list/force-directed)
+  bistpath verify -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N]
+                  [-vectors N] [-seed N] [-workers 1,2,8] [-fast] [-sweep N] [-json]
   bistpath list`)
 }
 
@@ -482,5 +487,149 @@ func cmdSchedule(args []string) error {
 	show("ALAP", alap)
 	show("list (greedy)", list)
 	show("force-directed", fds)
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	bench := fs.String("bench", "", "built-in benchmark name, comma-separated list, or \"all\"")
+	dfgFile := fs.String("dfg", "", "DFG file")
+	mode := fs.String("mode", "testable", "testable or traditional")
+	width := fs.Int("width", 8, "datapath bit width")
+	vectors := fs.Int("vectors", 100, "random input vectors for the functional cross-check")
+	seed := fs.Int64("seed", 1, "seed for the functional cross-check vectors")
+	workersFlag := fs.String("workers", "", "comma-separated search worker counts to cross-check (default 1,2,8)")
+	fast := fs.Bool("fast", false, "skip the brute-force oracles (invariants + functional only)")
+	sweep := fs.Int("sweep", 0, "verify N seeded random designs instead of a named one")
+	jsonFlag := fs.Bool("json", false, "emit machine-readable JSON reports")
+	fs.Parse(args)
+
+	cfg := bistpath.DefaultConfig()
+	cfg.Width = *width
+	switch *mode {
+	case "testable":
+	case "traditional":
+		cfg.Mode = bistpath.TraditionalHLS
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	opts := bistpath.VerifyOptions{Vectors: *vectors, Seed: *seed, SkipOracles: *fast}
+	if *workersFlag != "" {
+		for _, w := range strings.Split(*workersFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(w))
+			if err != nil {
+				return fmt.Errorf("bad -workers value %q: %v", w, err)
+			}
+			opts.Workers = append(opts.Workers, n)
+		}
+	}
+
+	var reports []*bistpath.VerifyReport
+	failed := 0
+	verifyOne := func(label string, d *bistpath.DFG, mods map[string]string, vo bistpath.VerifyOptions) error {
+		res, err := synthesize(d, mods, cfg)
+		if err != nil {
+			return err
+		}
+		rep, err := res.Verify(context.Background(), vo)
+		if err != nil {
+			return err
+		}
+		reports = append(reports, rep)
+		if !rep.OK() {
+			failed++
+		}
+		if !*jsonFlag {
+			fmt.Print(rep.Summary())
+		}
+		_ = label
+		return nil
+	}
+
+	if *sweep > 0 {
+		if *bench != "" || *dfgFile != "" {
+			return fmt.Errorf("-sweep generates its own designs; drop -bench/-dfg")
+		}
+		// A bounded fraction of random designs legitimately has a module
+		// with no register I-path; anything beyond that bound (or any
+		// other failure) is a real bug.
+		skipBudget := *sweep/4 + 1
+		skipped := 0
+		for s := int64(1); s <= int64(*sweep); s++ {
+			d, mods, err := bistpath.RandomDesign(s)
+			if err != nil {
+				return fmt.Errorf("sweep seed %d: %v", s, err)
+			}
+			vo := opts
+			vo.Seed = s
+			// Full oracles are exponential; sample them on every fifth
+			// seed with modest caps and run the fast layers everywhere.
+			if !*fast && s%5 == 0 {
+				vo.EmbeddingCap = 1 << 16
+				vo.BindingLimit = 400
+			} else {
+				vo.SkipOracles = true
+			}
+			res, err := synthesize(d, mods, cfg)
+			if err != nil {
+				if errors.Is(err, bistpath.ErrNoEmbedding) {
+					skipped++
+					if skipped > skipBudget {
+						return fmt.Errorf("sweep: %d designs had no BIST embedding (budget %d): %v", skipped, skipBudget, err)
+					}
+					continue
+				}
+				return fmt.Errorf("sweep seed %d: %v", s, err)
+			}
+			rep, err := res.Verify(context.Background(), vo)
+			if err != nil {
+				return fmt.Errorf("sweep seed %d: %v", s, err)
+			}
+			reports = append(reports, rep)
+			if !rep.OK() {
+				failed++
+				if !*jsonFlag {
+					fmt.Printf("seed %d:\n%s", s, rep.Summary())
+				}
+			}
+		}
+		if !*jsonFlag {
+			fmt.Printf("sweep: %d designs verified, %d skipped (no embedding), %d failed\n",
+				len(reports), skipped, failed)
+		}
+	} else if names := benchList(*bench); len(names) > 1 {
+		if *dfgFile != "" {
+			return fmt.Errorf("use either -bench or -dfg, not both")
+		}
+		for _, name := range names {
+			d, mods, err := bistpath.Benchmark(name)
+			if err != nil {
+				return err
+			}
+			if err := verifyOne(name, d, mods, opts); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	} else {
+		d, mods, err := loadDesign(*bench, *dfgFile)
+		if err != nil {
+			return err
+		}
+		if err := verifyOne(*bench, d, mods, opts); err != nil {
+			return err
+		}
+	}
+
+	if *jsonFlag {
+		out, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	}
+	if failed > 0 {
+		return fmt.Errorf("verification failed for %d of %d design(s)", failed, len(reports))
+	}
 	return nil
 }

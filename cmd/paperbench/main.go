@@ -50,11 +50,12 @@ func main() {
 	atpgFlag := flag.Bool("atpg", false, "run the fault-efficiency study (deterministic top-up + redundancy proofs)")
 	sessions := flag.Bool("sessions", false, "run the test-time/session study")
 	statsFlag := flag.Bool("stats", false, "run the synthesis observability table (phase times + search counters)")
+	verifyFlag := flag.Bool("verify", false, "run the differential verification harness on every benchmark")
 	jflag := flag.Int("j", 0, "parallel synthesis workers for the table sweeps (0 = GOMAXPROCS)")
 	flag.Parse()
 	batchWorkers = *jflag
 
-	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag
+	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag && !*verifyFlag
 	run := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -103,6 +104,60 @@ func main() {
 	if *statsFlag { // explicit only: wall times are not reproducible output
 		run(statsTable())
 	}
+	if all || *verifyFlag {
+		run(verifyTable())
+	}
+}
+
+// verifyTable runs the differential verification harness on every
+// benchmark in both flows: plan invariants, a functional cross-check
+// against dfg.Eval, exhaustive embedding and register-binding oracles,
+// and worker-count conformance. It fails (non-zero exit) on any
+// violation — the table is evidence that every other number printed by
+// this command stands on a verified allocation.
+func verifyTable() error {
+	t := report.NewTable("Differential verification — invariants, oracles, functional cross-check",
+		"DFG", "flow", "status", "vectors", "plan", "oracle min", "combos", "bindings", "best..worst")
+	var failures int
+	for _, b := range benchdata.All() {
+		for _, mode := range []bistpath.Mode{bistpath.Testable, bistpath.TraditionalHLS} {
+			d, mods, err := bistpath.Benchmark(b.Name)
+			if err != nil {
+				return err
+			}
+			cfg := bistpath.DefaultConfig()
+			cfg.Mode = mode
+			res, err := d.Synthesize(mods, cfg)
+			if err != nil {
+				return err
+			}
+			rep, err := res.Verify(context.Background(), bistpath.VerifyOptions{})
+			if err != nil {
+				return err
+			}
+			status := "PASS"
+			if !rep.OK() {
+				status = "FAIL"
+				failures++
+			}
+			flow := "testable"
+			if mode == bistpath.TraditionalHLS {
+				flow = "traditional"
+			}
+			t.AddRowf(b.Name, flow, status, rep.Vectors, rep.PlanCost, rep.EmbeddingMin,
+				rep.EmbeddingCombos,
+				fmt.Sprintf("%d/%d", rep.BindingFeasible, rep.BindingCount),
+				fmt.Sprintf("%d..%d", rep.BindingBest, rep.BindingWorst))
+			for _, v := range rep.Violations {
+				fmt.Printf("  %s/%s VIOLATION: %s\n", b.Name, flow, v)
+			}
+		}
+	}
+	fmt.Println(t)
+	if failures > 0 {
+		return fmt.Errorf("verification failed for %d flow(s)", failures)
+	}
+	return nil
 }
 
 // statsTable surfaces the observability layer: where each benchmark's

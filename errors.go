@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"bistpath/internal/bist"
 )
 
 // Sentinel errors of the public API. They are wrapped with context at the
@@ -20,6 +22,13 @@ var (
 
 	// ErrNoDFG is returned for a batch Job submitted without a DFG.
 	ErrNoDFG = errors.New("bistpath: job has no DFG")
+
+	// ErrNoEmbedding is returned by synthesis when some module has no
+	// BIST embedding at all (no register I-path reaches its ports) — the
+	// one legitimate way a structurally valid design can be
+	// unsynthesizable. Random-design sweeps match it to skip such
+	// designs.
+	ErrNoEmbedding = bist.ErrNoEmbedding
 )
 
 // SynthesisError attributes a synthesis failure to the pipeline phase

@@ -102,6 +102,28 @@ func Random(cfg RandomConfig) (*dfg.Graph, error) {
 	return g, nil
 }
 
+// SweepConfig derives a varied generator configuration from the seed
+// alone, so conformance sweeps cover a range of graph shapes (step
+// counts, widths of parallelism, operator mixes) without maintaining a
+// separate parameter grid. The mapping is deterministic: one seed, one
+// shape.
+func SweepConfig(seed int64) RandomConfig {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	kindSets := [][]dfg.Kind{
+		nil, // generator default {+,-,*,&}
+		{dfg.Add, dfg.Mul},
+		{dfg.Add, dfg.Sub, dfg.Mul, dfg.Div, dfg.And, dfg.Or, dfg.Xor},
+		{dfg.Add, dfg.Sub, dfg.Lt, dfg.Gt},
+	}
+	return RandomConfig{
+		Seed:       seed,
+		Steps:      3 + rng.Intn(5),
+		OpsPerStep: 1 + rng.Intn(3),
+		Inputs:     2 + rng.Intn(4),
+		Kinds:      kindSets[rng.Intn(len(kindSets))],
+	}
+}
+
 // RandomWithModules generates a random DFG together with an area-driven
 // module binding over unit classes.
 func RandomWithModules(cfg RandomConfig) (*dfg.Graph, *modassign.Binding, error) {

@@ -2,6 +2,7 @@ package bist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -12,6 +13,11 @@ import (
 	"bistpath/internal/datapath"
 	"bistpath/internal/interconnect"
 )
+
+// ErrNoEmbedding is returned (wrapped with the module name) when some
+// module has no BIST embedding at all — no register I-path reaches its
+// ports. Match with errors.Is.
+var ErrNoEmbedding = errors.New("no BIST embedding")
 
 // Plan is a complete BIST solution for a data path.
 type Plan struct {
@@ -304,7 +310,7 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	for _, m := range dp.Modules {
 		embs := Embeddings(dp, m.Name, opts.AllowPadHeads)
 		if len(embs) == 0 {
-			return nil, fmt.Errorf("bist: module %s has no BIST embedding (no register I-paths)", m.Name)
+			return nil, fmt.Errorf("bist: module %s has %w (no register I-paths)", m.Name, ErrNoEmbedding)
 		}
 		embTotal += int64(len(embs))
 		mods = append(mods, modEmb{m.Name, embs})

@@ -1,0 +1,41 @@
+package lang
+
+import (
+	"testing"
+
+	"bistpath/internal/dfg"
+)
+
+// FuzzLangParse throws arbitrary program text at the compiler. The
+// contract under fuzzing: never panic, and every accepted program must
+// produce a validated graph whose text form round-trips through the DFG
+// parser with the same operation count.
+func FuzzLangParse(f *testing.F) {
+	f.Add("x = a + b\ny = x * c")
+	f.Add("u1 = u - 3*x*u*dx - 3*y*dx")
+	f.Add("o = (a + 2) * (a + 2) / (b ^ c)")
+	f.Add("# comment\nr = p < q\ns = p & q | r")
+	f.Add("x = ((((a))))\nx2 = x - x")
+	f.Add("= broken\nx 5\n((")
+	f.Fuzz(func(t *testing.T, program string) {
+		// The expression grammar recurses through parenthesized factors;
+		// bound the input so pathological nesting stays within the stack.
+		if len(program) > 4096 {
+			t.Skip()
+		}
+		g, err := Compile("fuzz", program, Options{})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted program yields invalid graph: %v\nprogram:\n%s", err, program)
+		}
+		back, err := dfg.ParseString(g.Text())
+		if err != nil {
+			t.Fatalf("graph text does not round-trip: %v\ntext:\n%s", err, g.Text())
+		}
+		if len(back.Ops()) != len(g.Ops()) {
+			t.Fatalf("round trip changed op count: %d != %d", len(back.Ops()), len(g.Ops()))
+		}
+	})
+}

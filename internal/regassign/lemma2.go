@@ -37,11 +37,17 @@ func (f Forced) String() string {
 // unsatisfiable for the sets they belong to, which is the correct
 // conservative behaviour during incremental binding.
 //
-// The characterization is exact for the paper's operator model: binary
-// operators whose two operands are distinct variables, followed by a
-// minimum-connectivity interconnect binding. An instance reading the
-// same variable on both ports (x op x) welds both ports to one register
-// and can force a CBILBO that these conditions do not predict.
+// The characterization is exact for single-instance modules under the
+// paper's operator model: binary operators whose two operands are
+// distinct variables, followed by a minimum-connectivity interconnect
+// binding. Outside that model it errs in both directions, always
+// conservatively for the binder's avoidance heuristic: an instance
+// reading the same variable on both ports (x op x) welds both ports to
+// one register and can force a CBILBO these conditions do not predict,
+// while on a module with several instances the other instances' mux
+// inputs can open a head pair that avoids the case-(i) register, so a
+// predicted CBILBO may be escapable at the netlist level (each instance
+// may present that register on a different port).
 func ForcedCBILBOs(g *dfg.Graph, mb *modassign.Binding, regs [][]string) []Forced {
 	var out []Forced
 	for _, m := range mb.Modules {

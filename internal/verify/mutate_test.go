@@ -1,0 +1,278 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"bistpath/internal/area"
+	"bistpath/internal/benchdata"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+)
+
+// The invariant checker is itself code, so it gets its own adversarial
+// tests: each mutation below corrupts one aspect of a known-good
+// allocation, and the checker must flag it with a violation of the
+// expected family. A checker that stays silent on any of these would
+// silently pass broken plans forever.
+
+func freshEx1(t *testing.T, traditional bool) (*dfg.Graph, *modassign.Binding, *datapath.Datapath, *bist.Plan) {
+	t.Helper()
+	b := benchdata.ByName("ex1")
+	if b == nil {
+		t.Fatal("ex1 missing")
+	}
+	mb := benchBinding(t, b)
+	dp, plan := mustPipeline(t, b.Graph, mb, traditional)
+	return b.Graph, mb, dp, plan
+}
+
+func assertCaught(t *testing.T, name, family string, vs []string) {
+	t.Helper()
+	if len(vs) == 0 {
+		t.Fatalf("%s: mutation not caught (no violations)", name)
+	}
+	for _, v := range vs {
+		if strings.HasPrefix(v, family+":") {
+			return
+		}
+	}
+	t.Errorf("%s: no %q violation among: %v", name, family, vs)
+}
+
+func check(g *dfg.Graph, mb *modassign.Binding, dp *datapath.Datapath, plan *bist.Plan) []string {
+	return Invariants(g, mb, dp, plan, area.Default(8), true)
+}
+
+// Moving a variable into a register holding a lifetime-conflicting
+// variable must break the coloring invariant.
+func TestMutationConflictingBinding(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	conf, err := g.Conflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	for _, r := range dp.Regs {
+		for _, other := range dp.Regs {
+			if done || r == other {
+				continue
+			}
+			for _, u := range r.Vars {
+				for _, w := range other.Vars {
+					if conf[u][w] {
+						// Move u into other's register alongside w.
+						other.Vars = append(other.Vars, u)
+						done = true
+					}
+					if done {
+						break
+					}
+				}
+				if done {
+					break
+				}
+			}
+		}
+	}
+	if !done {
+		t.Fatal("no conflicting pair found to mutate")
+	}
+	assertCaught(t, "conflicting binding", "coloring", check(g, mb, dp, plan))
+}
+
+// Deleting a variable's binding entirely must be caught as an
+// uncovered variable and a dangling control-program write.
+func TestMutationUnboundVariable(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	r := dp.Regs[0]
+	r.Vars = r.Vars[1:]
+	assertCaught(t, "unbound variable", "coloring", check(g, mb, dp, plan))
+}
+
+// Removing a wired port source that the control program uses must be
+// caught as a missing interconnect path.
+func TestMutationDroppedMuxPath(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	mo := dp.Steps[1].Ops[0]
+	m := dp.Module(mo.Module)
+	var kept []string
+	for _, s := range m.Left {
+		if s != mo.LeftSrc {
+			kept = append(kept, s)
+		}
+	}
+	m.Left = kept
+	assertCaught(t, "dropped mux path", "interconnect", check(g, mb, dp, plan))
+}
+
+// Rebinding an operation to a module that cannot execute its kind must
+// be caught by the control replay.
+func TestMutationIncompatibleModule(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	mutated := false
+	for si := range dp.Steps {
+		for oi := range dp.Steps[si].Ops {
+			mo := &dp.Steps[si].Ops[oi]
+			for _, m := range dp.Modules {
+				if m.Name != mo.Module && !kindIn(m.Kinds, mo.Kind) {
+					mo.Module = m.Name
+					mutated = true
+					break
+				}
+			}
+			if mutated {
+				break
+			}
+		}
+		if mutated {
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no kind-incompatible module available")
+	}
+	assertCaught(t, "incompatible module", "control", check(g, mb, dp, plan))
+}
+
+// Downgrading a CBILBO to a plain BILBO must be caught: the register
+// still generates and compacts for the same module. The traditional
+// ex1 binding is the paper's example of a forced CBILBO.
+func TestMutationClearedCBILBO(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, true)
+	cleared := false
+	for r, s := range plan.Styles {
+		if s == area.CBILBO {
+			plan.Styles[r] = area.BILBO
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Fatal("traditional ex1 plan has no CBILBO to clear")
+	}
+	assertCaught(t, "cleared CBILBO", "styles", check(g, mb, dp, plan))
+}
+
+// An understated plan cost must be caught by the independent recompute.
+func TestMutationCostDrift(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	plan.ExtraArea--
+	assertCaught(t, "cost drift", "styles", check(g, mb, dp, plan))
+}
+
+// Pointing an embedding tail at a register the module does not drive
+// must be caught as an unwired embedding.
+func TestMutationUnwiredEmbeddingTail(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	mutated := false
+	for name, e := range plan.Embeddings {
+		m := dp.Module(name)
+		for _, r := range dp.Regs {
+			if !strIn(m.Dests, r.Name) {
+				e.Tail = r.Name
+				plan.Embeddings[name] = e
+				mutated = true
+				break
+			}
+		}
+		if mutated {
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("every register is a destination of every module")
+	}
+	assertCaught(t, "unwired tail", "embedding", check(g, mb, dp, plan))
+}
+
+// Dropping a module from the session schedule must be caught.
+func TestMutationUnscheduledModule(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	if len(plan.Sessions) == 0 || len(plan.Sessions[0]) == 0 {
+		t.Fatal("no sessions to mutate")
+	}
+	plan.Sessions[0] = plan.Sessions[0][1:]
+	assertCaught(t, "unscheduled module", "sessions", check(g, mb, dp, plan))
+}
+
+// Scheduling a module twice must be caught.
+func TestMutationDoubleScheduledModule(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	m := plan.Sessions[0][0]
+	plan.Sessions = append(plan.Sessions, []string{m})
+	assertCaught(t, "double-scheduled module", "sessions", check(g, mb, dp, plan))
+}
+
+// Forcing two modules that share a signature register into one session
+// must be caught by the independent conflict rule.
+func TestMutationConflictingSession(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, true)
+	// Re-point one module's tail onto another's (keeping it wired if
+	// possible), then merge their sessions: a shared tail is always a
+	// session conflict.
+	names := make([]string, 0, len(plan.Embeddings))
+	for n := range plan.Embeddings {
+		names = append(names, n)
+	}
+	if len(names) < 2 {
+		t.Skip("need two modules")
+	}
+	mutated := false
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			ea, eb := plan.Embeddings[a], plan.Embeddings[b]
+			if strIn(dp.Module(a).Dests, eb.Tail) {
+				ea.Tail = eb.Tail
+				plan.Embeddings[a] = ea
+				plan.Sessions = [][]string{names}
+				mutated = true
+				break
+			}
+		}
+		if mutated {
+			break
+		}
+	}
+	if !mutated {
+		t.Skip("no shared destination register available")
+	}
+	assertCaught(t, "conflicting session", "sessions", check(g, mb, dp, plan))
+}
+
+// A corrupted micro-op operand source (reading a register that holds a
+// different variable) must be caught by the occupancy replay.
+func TestMutationWrongOperandSource(t *testing.T) {
+	g, mb, dp, plan := freshEx1(t, false)
+	mutated := false
+	for si := range dp.Steps {
+		for oi := range dp.Steps[si].Ops {
+			mo := &dp.Steps[si].Ops[oi]
+			for _, r := range dp.Regs {
+				if r.Name != mo.LeftSrc && r.Name != mo.RightSrc {
+					mo.LeftSrc = r.Name
+					mutated = true
+					break
+				}
+			}
+			if mutated {
+				break
+			}
+		}
+		if mutated {
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no alternative register to corrupt a source with")
+	}
+	vs := check(g, mb, dp, plan)
+	if len(vs) == 0 {
+		t.Fatal("wrong operand source not caught")
+	}
+}

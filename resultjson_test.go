@@ -36,7 +36,7 @@ func normalizeResultJSON(t *testing.T, raw []byte) []byte {
 }
 
 func TestResultJSONGolden(t *testing.T) {
-	for _, name := range []string{"ex1", "paulin"} {
+	for _, name := range BenchmarkNames() {
 		d, mods, err := Benchmark(name)
 		if err != nil {
 			t.Fatal(err)

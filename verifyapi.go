@@ -1,0 +1,143 @@
+package bistpath
+
+import (
+	"context"
+
+	"bistpath/internal/area"
+	"bistpath/internal/benchdata"
+	"bistpath/internal/verify"
+)
+
+// VerifyOptions configures Result.Verify. The zero value selects the
+// defaults noted on each field.
+type VerifyOptions struct {
+	// Vectors is the number of random input vectors simulated against
+	// direct DFG evaluation (default 100; negative disables).
+	Vectors int
+	// Seed seeds the vector generator; the stream is a pure function of
+	// it, so failures replay exactly (default 1).
+	Seed int64
+	// Workers lists the BIST-search worker counts that must all
+	// reproduce the plan byte for byte (default {1, 2, 8}).
+	Workers []int
+	// EmbeddingCap bounds the exhaustive embedding oracle; above it the
+	// oracle is skipped (default 4<<20 combinations).
+	EmbeddingCap int64
+	// BindingLimit bounds the exhaustive register-binding oracle
+	// (default 20000 bindings; negative disables it).
+	BindingLimit int
+	// SkipOracles runs only the invariants and the functional
+	// cross-check — the fast path for large sweeps.
+	SkipOracles bool
+}
+
+// VerifyReport is the outcome of one verification run; see the field
+// comments on the internal verify.Report for the exact semantics.
+// Violations is empty iff every executed check passed.
+type VerifyReport struct {
+	Design     string   `json:"design"`
+	Violations []string `json:"violations"`
+	Vectors    int      `json:"vectors"`
+
+	PlanCost        int   `json:"plan_cost"`
+	PlanExact       bool  `json:"plan_exact"`
+	EmbeddingCombos int64 `json:"embedding_combos"`
+	EmbeddingMin    int   `json:"embedding_min"`
+	EmbeddingRan    bool  `json:"embedding_oracle_ran"`
+
+	WorkersChecked []int `json:"workers_checked,omitempty"`
+
+	BindingRan      bool `json:"binding_oracle_ran"`
+	BindingCount    int  `json:"binding_count"`
+	BindingFeasible int  `json:"binding_feasible"`
+	BindingBest     int  `json:"binding_best"`
+	BindingWorst    int  `json:"binding_worst"`
+	BindingComplete bool `json:"binding_complete"`
+
+	inner *verify.Report
+}
+
+// OK reports whether every executed check passed.
+func (r *VerifyReport) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing
+// the violations.
+func (r *VerifyReport) Err() error { return r.inner.Err() }
+
+// Summary renders the report as an indented human-readable block.
+func (r *VerifyReport) Summary() string { return r.inner.Summary() }
+
+// Verify runs the differential verification harness against this
+// result: structural plan invariants, a functional cross-check of the
+// synthesized data path against direct DFG evaluation, and — unless
+// opts.SkipOracles is set — brute-force oracles (exhaustive embedding
+// enumeration, worker-count conformance, exhaustive minimum-register
+// binding sweep). The returned error reports infrastructure failures
+// only (context cancellation); verification failures are collected in
+// VerifyReport.Violations.
+//
+// The harness re-derives every property independently of the synthesis
+// pipeline, so a clean report is evidence the heuristics behaved, not
+// an echo of their own bookkeeping.
+func (r *Result) Verify(ctx context.Context, opts VerifyOptions) (*VerifyReport, error) {
+	vo := verify.Options{
+		Model:            area.Default(r.Width),
+		AllowPadTPG:      r.cfg.AllowPadTPG,
+		MinimizeSessions: r.cfg.MinimizeSessions,
+		Vectors:          opts.Vectors,
+		Seed:             opts.Seed,
+		Workers:          opts.Workers,
+		EmbeddingCap:     opts.EmbeddingCap,
+		BindingLimit:     opts.BindingLimit,
+		SkipOracles:      opts.SkipOracles,
+	}
+	if vo.Seed == 0 {
+		vo.Seed = 1
+	}
+	if vo.Workers == nil && !vo.SkipOracles {
+		vo.Workers = []int{1, 2, 8}
+	}
+	rep, err := verify.Run(ctx, r.dp.Graph(), r.mb, r.dp, r.plan, vo)
+	if rep == nil {
+		return nil, err
+	}
+	out := &VerifyReport{
+		Design:          rep.Design,
+		Violations:      rep.Violations,
+		Vectors:         rep.Vectors,
+		PlanCost:        rep.PlanCost,
+		PlanExact:       rep.PlanExact,
+		EmbeddingCombos: rep.EmbeddingCombos,
+		EmbeddingMin:    rep.EmbeddingMin,
+		EmbeddingRan:    rep.EmbeddingRan,
+		WorkersChecked:  rep.WorkersChecked,
+		BindingRan:      rep.BindingRan,
+		BindingCount:    rep.BindingCount,
+		BindingFeasible: rep.BindingFeasible,
+		BindingBest:     rep.BindingBest,
+		BindingWorst:    rep.BindingWorst,
+		BindingComplete: rep.BindingComplete,
+		inner:           rep,
+	}
+	return out, err
+}
+
+// RandomDesign generates a deterministic random scheduled DFG and
+// module assignment for conformance sweeps. The seed fully determines
+// the design shape (steps, parallelism, operator mix) via
+// benchdata.SweepConfig, so sweeps are reproducible by seed range
+// alone. The second return value is the op→module map accepted by
+// SynthesizeCtx.
+func RandomDesign(seed int64) (*DFG, map[string]string, error) {
+	g, mb, err := benchdata.RandomWithModules(benchdata.SweepConfig(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	mods := make(map[string]string)
+	for _, m := range mb.Modules {
+		for _, op := range m.Ops {
+			mods[op] = m.Name
+		}
+	}
+	return &DFG{g: g}, mods, nil
+}
