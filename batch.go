@@ -34,6 +34,12 @@ type BatchOptions struct {
 	// 0 (the default) uses runtime.GOMAXPROCS(0); 1 runs the batch
 	// sequentially on the calling goroutine's pool worker.
 	Workers int
+	// Cache, when non-nil, is applied to every job whose Config.Cache is
+	// nil, so a whole batch shares one result cache without editing each
+	// Job. Duplicate jobs in the batch coalesce into a single synthesis
+	// (the rest are served as cache hits). A job that sets its own
+	// Config.Cache keeps it.
+	Cache *Cache
 }
 
 // BatchResult is the outcome of one job. Exactly one of Result and Err
@@ -112,7 +118,11 @@ func SynthesizeAllStats(ctx context.Context, jobs []Job, opts BatchOptions) ([]B
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, jobs[i])
+				job := jobs[i]
+				if job.Config.Cache == nil {
+					job.Config.Cache = opts.Cache
+				}
+				results[i] = runJob(ctx, job)
 				busy.Add(int64(results[i].Duration))
 			}
 		}()

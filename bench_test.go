@@ -582,6 +582,89 @@ func BenchmarkScanComparison(b *testing.B) {
 	}
 }
 
+// --- result cache benchmarks ---
+
+// Canonical cache-key fingerprinting of the largest paper benchmark —
+// the fixed cost every cache-enabled synthesis pays, hit or miss.
+func BenchmarkCacheKey(b *testing.B) {
+	d, mods, err := Benchmark("paulin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mb, err := d.moduleBinding(mods)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cacheKey(d.g, mb, cfg)
+	}
+}
+
+// Serving paulin from the in-memory layer: key + LRU lookup + the
+// per-caller deep copy of the exported Result fields.
+func BenchmarkCacheHitMemory(b *testing.B) {
+	c, err := NewCache(CacheOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, mods, err := Benchmark("paulin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cache = c
+	if _, err := d.Synthesize(mods, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.Synthesize(mods, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.CacheHit {
+			b.Fatal("memory layer missed")
+		}
+	}
+}
+
+// Serving paulin from the persistent layer: a fresh cache per iteration
+// forces the disk read, plan reconstruction and the cheap deterministic
+// phases that revalidate it.
+func BenchmarkCacheHitDisk(b *testing.B) {
+	dir := b.TempDir()
+	seed, err := NewCache(CacheOptions{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, mods, err := Benchmark("paulin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cache = seed
+	if _, err := d.Synthesize(mods, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := NewCache(CacheOptions{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Cache = c
+		res, err := d.Synthesize(mods, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.CacheHit {
+			b.Fatal("disk layer missed")
+		}
+	}
+}
+
 // Fault-efficiency study: random grading + exhaustive top-up of a 4-bit
 // divider.
 func BenchmarkATPGTopUp(b *testing.B) {

@@ -16,6 +16,7 @@ package bistpath
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -83,6 +84,13 @@ type Config struct {
 	// events while the run executes (see Observer's documentation for
 	// the concurrency contract). Nil costs nothing.
 	Observer Observer
+	// Cache, when non-nil, memoizes synthesis results keyed by the
+	// canonical fingerprint of the semantic inputs (see Cache). A hit
+	// returns a Result whose JSON() is byte-identical to the run that
+	// populated the entry; concurrent identical runs coalesce onto one
+	// synthesis. Like Workers and Observer, the field itself never
+	// affects what is computed — only how fast.
+	Cache *Cache
 }
 
 // DefaultConfig returns the paper's configuration.
@@ -205,12 +213,36 @@ func (r *Result) StyleSummary() string {
 }
 
 // synthesize is the internal-type entry point shared by the public
-// wrappers, cmd tools and benchmarks. The context is polled at phase
-// boundaries and inside the BIST branch and bound, so a cancelled run
-// returns ctx.Err() promptly. Each phase is timed into Result.Stats and
-// reported to cfg.Observer; non-context failures come back as
+// wrappers, cmd tools and benchmarks. It normalizes the config and
+// routes through Config.Cache when one is attached; the actual pipeline
+// lives in synthesizeCore.
+func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if cfg.Cache != nil {
+		return cfg.Cache.synthesize(ctx, g, mb, cfg)
+	}
+	return synthesizeCore(ctx, g, mb, cfg, nil)
+}
+
+// synthesizeCore runs the synthesis pipeline. The context is polled at
+// phase boundaries and inside the BIST branch and bound, so a cancelled
+// run returns ctx.Err() promptly. Each phase is timed into Result.Stats
+// and reported to cfg.Observer; non-context failures come back as
 // *SynthesisError attributed to the phase that produced them.
-func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (res *Result, retErr error) {
+//
+// A non-nil cached argument replays a disk-cache entry: the cheap
+// deterministic phases (validate, register bind, interconnect, data
+// path) still run on the live inputs, but the BIST search is replaced
+// by the cached plan — validated against the rebuilt data path, so a
+// stale entry fails with errStaleCacheEntry instead of producing a
+// wrong Result — and the Stats of the populating run are replayed
+// verbatim to keep Result.JSON() byte-identical.
+func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, cached *cachedSynthesis) (res *Result, retErr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -221,7 +253,7 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 		return nil, err
 	}
 	defer func() {
-		if retErr != nil {
+		if retErr != nil && !errors.Is(retErr, errStaleCacheEntry) {
 			expSynthErrs.Add(1)
 		}
 	}()
@@ -313,7 +345,18 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 
 	var plan *bist.Plan
 	var bm bist.Metrics
-	if err := phase(PhaseBISTSearch, &st.BISTSearch, func() error {
+	if cached != nil {
+		// Disk-cache replay: splice in the persisted plan instead of
+		// searching, but only after it validates against the data path
+		// just rebuilt from the live inputs.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan = cached.plan
+		if err := plan.Validate(dp); err != nil {
+			return nil, fmt.Errorf("%w: %v", errStaleCacheEntry, err)
+		}
+	} else if err := phase(PhaseBISTSearch, &st.BISTSearch, func() error {
 		bopts := bist.Options{
 			Model:            area.Default(cfg.Width),
 			AllowPadHeads:    cfg.AllowPadTPG,
@@ -344,6 +387,13 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	}
 	for _, d := range trace {
 		res.BindingTrace = append(res.BindingTrace, d.Note)
+	}
+	if cached != nil {
+		// Replay the populating run's Stats so JSON() stays
+		// byte-identical; a reconstruction is not a synthesis, so the
+		// cumulative expvar counters are not advanced either.
+		res.Stats = cached.stats
+		return res, nil
 	}
 	st.Total = time.Since(t0)
 	res.Stats = st

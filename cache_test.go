@@ -1,0 +1,469 @@
+package bistpath
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newTestCache builds an in-memory-only cache, failing the test on error.
+func newTestCache(t testing.TB, opts CacheOptions) *Cache {
+	t.Helper()
+	c, err := NewCache(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// synthCached synthesizes one benchmark through the given cache.
+func synthCached(t testing.TB, c *Cache, name string, cfg Config) *Result {
+	t.Helper()
+	d, mods, err := Benchmark(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = c
+	res, err := d.Synthesize(mods, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// The headline guarantee: a cache hit's JSON is byte-identical to the
+// cold run that populated the entry, for both the memory and disk
+// layers, and the report text matches too.
+func TestCacheHitJSONByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, CacheOptions{Dir: dir})
+	for _, name := range BenchmarkNames() {
+		cold := synthCached(t, c, name, DefaultConfig())
+		coldJSON, err := cold.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		warm := synthCached(t, c, name, DefaultConfig())
+		if !warm.Stats.CacheHit {
+			t.Fatalf("%s: second run not served from cache", name)
+		}
+		warmJSON, err := warm.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(coldJSON, warmJSON) {
+			t.Errorf("%s: memory hit JSON differs from cold run", name)
+		}
+		if cold.ReportText() != warm.ReportText() {
+			t.Errorf("%s: memory hit report differs from cold run", name)
+		}
+
+		// A fresh cache over the same directory has an empty memory
+		// layer, so this exercises the disk reconstruction path.
+		fresh := newTestCache(t, CacheOptions{Dir: dir})
+		disk := synthCached(t, fresh, name, DefaultConfig())
+		if !disk.Stats.CacheHit {
+			t.Fatalf("%s: fresh cache did not hit the disk layer", name)
+		}
+		if st := fresh.Stats(); st.DiskHits != 1 {
+			t.Fatalf("%s: disk hits = %d, want 1", name, st.DiskHits)
+		}
+		diskJSON, err := disk.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(coldJSON, diskJSON) {
+			t.Errorf("%s: disk hit JSON differs from cold run", name)
+		}
+	}
+}
+
+// Semantic Config fields must change the key (miss); Workers and
+// Observer must not (hit) — the determinism contract guarantees they
+// cannot change the Result.
+func TestCacheKeySensitivity(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	base := DefaultConfig()
+	synthCached(t, c, "ex1", base)
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("cold run: misses = %d, want 1", st.Misses)
+	}
+
+	// Non-semantic knobs: same key, served from memory.
+	workers := base
+	workers.Workers = 7
+	if res := synthCached(t, c, "ex1", workers); !res.Stats.CacheHit {
+		t.Error("changing Workers must not change the cache key")
+	}
+	observed := base
+	observed.Observer = func(Event) {}
+	if res := synthCached(t, c, "ex1", observed); !res.Stats.CacheHit {
+		t.Error("changing Observer must not change the cache key")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.MemoryHits != 2 {
+		t.Fatalf("after non-semantic runs: %+v", st)
+	}
+
+	// Semantic knobs: every one must miss.
+	semantic := []func(*Config){
+		func(c *Config) { c.Width = 16 },
+		func(c *Config) { c.Mode = TraditionalHLS },
+		func(c *Config) { c.MinimizeSessions = true },
+		func(c *Config) { c.AvoidCBILBO = false },
+		func(c *Config) { c.Sharing = false },
+	}
+	for i, mut := range semantic {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if res := synthCached(t, c, "ex1", cfg); res.Stats.CacheHit {
+			t.Errorf("semantic change %d did not change the cache key", i)
+		}
+	}
+	if st := c.Stats(); st.Misses != int64(1+len(semantic)) {
+		t.Fatalf("after semantic runs: %+v", st)
+	}
+}
+
+// The DFG text format omits port-input marks, so the key must carry
+// them separately: two otherwise identical designs differing only in
+// MarkPortInput must occupy different entries.
+func TestCacheKeyPortMarks(t *testing.T) {
+	build := func(port bool) *DFG {
+		d := NewDFG("pkey")
+		if err := d.AddInput("a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.AddOp("o1", "+", 1, "x", "a", "b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.MarkOutput("x"); err != nil {
+			t.Fatal(err)
+		}
+		if port {
+			if err := d.MarkPortInput("a"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	c := newTestCache(t, CacheOptions{})
+	cfg := DefaultConfig()
+	cfg.Cache = c
+	for _, port := range []bool{false, true} {
+		if _, err := build(port).SynthesizeAuto(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("port-marked and unmarked designs shared a key: %+v", st)
+	}
+}
+
+// Under a byte budget too small for two entries, storing the second
+// evicts the first, and re-requesting the first is a miss again.
+func TestCacheEvictionUnderTightBudget(t *testing.T) {
+	// Learn both entries' footprints, then budget for one byte less
+	// than the pair: each fits alone, never both.
+	probe := newTestCache(t, CacheOptions{})
+	f1 := resultFootprint(synthCached(t, probe, "ex1", DefaultConfig()))
+	f2 := resultFootprint(synthCached(t, probe, "ex2", DefaultConfig()))
+
+	c := newTestCache(t, CacheOptions{MaxBytes: f1 + f2 - 1, Shards: 1})
+	synthCached(t, c, "ex1", DefaultConfig())
+	synthCached(t, c, "ex2", DefaultConfig())
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget: %+v", f1+f2-1, st)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("accounted bytes exceed the budget: %+v", st)
+	}
+	if r := synthCached(t, c, "ex1", DefaultConfig()); r.Stats.CacheHit {
+		t.Fatal("evicted entry served as a hit")
+	}
+}
+
+// A storm of concurrent identical requests coalesces onto exactly one
+// synthesis. Run under -race this also proves the cache's locking.
+func TestCacheConcurrentStorm(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	d, mods, err := Benchmark("paulin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Cache = c
+	const n = 24
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := d.Synthesize(mods, cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Stats.CacheHit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (storm must coalesce)", st.Misses)
+	}
+	if got := hits.Load(); got != n-1 {
+		t.Fatalf("hits = %d, want %d", got, n-1)
+	}
+}
+
+// BatchOptions.Cache shares one cache across a batch: duplicate jobs
+// coalesce and the results stay byte-identical to an uncached batch.
+func TestCacheBatchCoalesce(t *testing.T) {
+	d, mods, err := Benchmark("tseng1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: "dup", DFG: d, Modules: mods, Config: DefaultConfig()}
+	}
+	c := newTestCache(t, CacheOptions{})
+	results := SynthesizeAll(context.Background(), jobs, BatchOptions{Cache: c})
+	var ref []byte
+	for i, br := range results {
+		if br.Err != nil {
+			t.Fatalf("job %d: %v", i, br.Err)
+		}
+		doc, err := br.Result.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = doc
+		} else if !bytes.Equal(ref, doc) {
+			t.Fatalf("job %d: JSON differs across duplicate jobs", i)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("batch of %d duplicates: %+v", n, st)
+	}
+
+	// A job carrying its own cache is not overridden by the batch cache.
+	own := newTestCache(t, CacheOptions{})
+	cfg := DefaultConfig()
+	cfg.Cache = own
+	one := []Job{{Name: "own", DFG: d, Modules: mods, Config: cfg}}
+	other := newTestCache(t, CacheOptions{})
+	if br := SynthesizeAll(context.Background(), one, BatchOptions{Cache: other})[0]; br.Err != nil {
+		t.Fatal(br.Err)
+	}
+	if st := own.Stats(); st.Misses != 1 {
+		t.Fatalf("job's own cache unused: %+v", st)
+	}
+	if st := other.Stats(); st.Misses != 0 {
+		t.Fatalf("batch cache overrode the job's: %+v", st)
+	}
+}
+
+// Corrupting the persisted entry must degrade to a full synthesis —
+// never an error — and the slot heals on the rewrite.
+func TestCacheDiskCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, CacheOptions{Dir: dir})
+	cold := synthCached(t, c, "ex2", DefaultConfig())
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var entries []string
+	err = filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".entry" {
+			entries = append(entries, p)
+		}
+		return err
+	})
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("want exactly one persisted entry, got %d (%v)", len(entries), err)
+	}
+	if err := os.WriteFile(entries[0], []byte("scribble"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newTestCache(t, CacheOptions{Dir: dir})
+	res := synthCached(t, fresh, "ex2", DefaultConfig())
+	if res.Stats.CacheHit {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	gotJSON, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripStats(t, coldJSON), stripStats(t, gotJSON)) {
+		t.Fatal("fallback synthesis diverged from the original")
+	}
+	// The rewrite healed the slot: the next fresh cache hits disk again.
+	healed := newTestCache(t, CacheOptions{Dir: dir})
+	if res := synthCached(t, healed, "ex2", DefaultConfig()); !res.Stats.CacheHit {
+		t.Fatal("slot not healed after fallback rewrite")
+	}
+}
+
+// A cache-served Result must hold up to the full differential
+// verification harness (plan invariants, functional cross-check,
+// exhaustive oracles), for both the memory and disk hit paths.
+func TestCacheServedResultVerifies(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCache(t, CacheOptions{Dir: dir})
+	synthCached(t, c, "ex1", DefaultConfig())
+
+	mem := synthCached(t, c, "ex1", DefaultConfig())
+	fresh := newTestCache(t, CacheOptions{Dir: dir})
+	disk := synthCached(t, fresh, "ex1", DefaultConfig())
+	for _, tc := range []struct {
+		layer string
+		res   *Result
+	}{{"memory", mem}, {"disk", disk}} {
+		if !tc.res.Stats.CacheHit {
+			t.Fatalf("%s: not a cache hit", tc.layer)
+		}
+		rep, err := tc.res.Verify(context.Background(), VerifyOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.layer, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s: verification violations: %v", tc.layer, rep.Violations)
+		}
+	}
+}
+
+// Mutating a served Result's exported fields must not leak into the
+// cached master or other callers.
+func TestCacheServedResultIsPrivate(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	synthCached(t, c, "ex1", DefaultConfig())
+	a := synthCached(t, c, "ex1", DefaultConfig())
+	a.Registers[0].Name = "CLOBBERED"
+	a.Registers[0].Vars[0] = "CLOBBERED"
+	a.Modules[0].Ops[0] = "CLOBBERED"
+	if len(a.Sessions) > 0 && len(a.Sessions[0]) > 0 {
+		a.Sessions[0][0] = "CLOBBERED"
+	}
+	for k := range a.StyleCounts {
+		a.StyleCounts[k] = -1
+	}
+	b := synthCached(t, c, "ex1", DefaultConfig())
+	if b.Registers[0].Name == "CLOBBERED" || b.Registers[0].Vars[0] == "CLOBBERED" ||
+		b.Modules[0].Ops[0] == "CLOBBERED" {
+		t.Fatal("mutation of a served Result leaked into the cache")
+	}
+	for _, v := range b.StyleCounts {
+		if v == -1 {
+			t.Fatal("StyleCounts mutation leaked into the cache")
+		}
+	}
+}
+
+// The observer sees exactly one CacheHit event per hit, and the Stats
+// cache fields reflect the cache's live counters without perturbing
+// the JSON (covered by TestCacheHitJSONByteIdentical).
+func TestCacheHitObserverAndStats(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	synthCached(t, c, "ex1", DefaultConfig())
+	var hits atomic.Int64
+	cfg := DefaultConfig()
+	cfg.Observer = func(e Event) {
+		if e.Kind == CacheHit {
+			hits.Add(1)
+			if e.Design != "ex1" {
+				t.Errorf("CacheHit event for %q, want ex1", e.Design)
+			}
+		}
+	}
+	res := synthCached(t, c, "ex1", cfg)
+	if hits.Load() != 1 {
+		t.Fatalf("CacheHit events = %d, want 1", hits.Load())
+	}
+	if !res.Stats.CacheHit || res.Stats.CacheHits != 1 || res.Stats.CacheMisses != 1 {
+		t.Fatalf("stats cache view = %+v", res.Stats)
+	}
+	if res.Stats.CacheBytes <= 0 {
+		t.Fatal("CacheBytes not filled")
+	}
+	line := res.Stats.String()
+	if want := "served from cache"; !bytes.Contains([]byte(line), []byte(want)) {
+		t.Fatalf("Stats.String() = %q, missing %q", line, want)
+	}
+}
+
+// The acceptance bar from the issue: a warm-cache batch over the five
+// paper benchmarks is at least 10x faster than the cold batch that
+// populated it.
+func TestCacheWarmBatchSpeedup(t *testing.T) {
+	var jobs []Job
+	for _, name := range BenchmarkNames() {
+		d, mods, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Name: name, DFG: d, Modules: mods, Config: DefaultConfig()})
+	}
+	c := newTestCache(t, CacheOptions{})
+	opts := BatchOptions{Workers: 1, Cache: c}
+
+	start := time.Now()
+	for _, br := range SynthesizeAll(context.Background(), jobs, opts) {
+		if br.Err != nil {
+			t.Fatal(br.Err)
+		}
+	}
+	cold := time.Since(start)
+
+	// Best of three warm passes: the point is the steady state, not a
+	// scheduler hiccup on one pass.
+	warm := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		for _, br := range SynthesizeAll(context.Background(), jobs, opts) {
+			if br.Err != nil {
+				t.Fatal(br.Err)
+			}
+			if !br.Result.Stats.CacheHit {
+				t.Fatalf("%s: warm pass missed", br.Name)
+			}
+		}
+		if d := time.Since(start); d < warm {
+			warm = d
+		}
+	}
+	if warm > cold/10 {
+		t.Errorf("warm batch %v vs cold %v: less than the required 10x speedup", warm, cold)
+	}
+}
+
+// stripStats removes the timing-dependent "stats" object so two
+// independent syntheses can be compared on their deterministic fields.
+func stripStats(t testing.TB, doc []byte) []byte {
+	t.Helper()
+	i := bytes.Index(doc, []byte(`"stats"`))
+	if i < 0 {
+		t.Fatal("no stats object in JSON")
+	}
+	return doc[:i]
+}

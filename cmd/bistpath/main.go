@@ -64,7 +64,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N] [-stats] [-json] [-netlist] [-dot]
+  bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N]
+                 [-cache] [-cache-dir DIR] [-stats] [-json] [-netlist] [-dot]
   bistpath sim   -bench <name> | -dfg <file> -inputs a=1,b=2,...
   bistpath cover -bench <name> | -dfg <file> [-patterns N] [-width N]
   bistpath emit  -bench <name> | -dfg <file> [-format rtl|gates] [-module NAME]
@@ -115,6 +116,8 @@ func cmdSynth(args []string) error {
 	gantt := fs.Bool("gantt", false, "print the register/module occupancy chart")
 	statsFlag := fs.Bool("stats", false, "print per-phase times and search counters after each report")
 	jsonFlag := fs.Bool("json", false, "emit the machine-readable JSON result (an array for multi-design runs; includes stats)")
+	cacheFlag := fs.Bool("cache", false, "serve duplicate designs from an in-memory result cache")
+	cacheDir := fs.String("cache-dir", "", "also persist cached results under this directory (implies -cache)")
 	fs.Parse(args)
 
 	cfg := bistpath.DefaultConfig()
@@ -127,6 +130,17 @@ func cmdSynth(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	cfg.Trace = *traceFlag
+
+	var cc *bistpath.Cache
+	if *cacheFlag || *cacheDir != "" {
+		var err error
+		cc, err = bistpath.NewCache(bistpath.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		cfg.Cache = cc
+		defer func() { fmt.Fprintln(os.Stderr, cc.Stats()) }()
+	}
 
 	// A benchmark list (or "all") fans the designs out over the batch
 	// worker pool; output order is the list order regardless of -j.

@@ -52,8 +52,19 @@ func main() {
 	statsFlag := flag.Bool("stats", false, "run the synthesis observability table (phase times + search counters)")
 	verifyFlag := flag.Bool("verify", false, "run the differential verification harness on every benchmark")
 	jflag := flag.Int("j", 0, "parallel synthesis workers for the table sweeps (0 = GOMAXPROCS)")
+	cacheFlag := flag.Bool("cache", false, "share a synthesis result cache across the table sweeps")
+	cacheDir := flag.String("cache-dir", "", "also persist cached results under this directory (implies -cache)")
 	flag.Parse()
 	batchWorkers = *jflag
+	if *cacheFlag || *cacheDir != "" {
+		var err error
+		batchCache, err = bistpath.NewCache(bistpath.CacheOptions{Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer func() { fmt.Fprintln(os.Stderr, batchCache.Stats()) }()
+	}
 
 	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag && !*verifyFlag
 	run := func(err error) {
@@ -582,11 +593,17 @@ func gateLevelTable() error {
 // run concurrently (0 = GOMAXPROCS).
 var batchWorkers int
 
+// batchCache is the -cache/-cache-dir flags: a result cache shared by
+// every batch this process runs. Tables repeatedly re-synthesize the same
+// benchmark/config pairs, so a shared cache collapses those to one run
+// each; nil (the default) disables caching.
+var batchCache *bistpath.Cache
+
 // runBatch fans jobs out over the shared worker pool and unwraps the
 // per-job errors; results come back in job order.
 func runBatch(jobs []bistpath.Job) ([]*bistpath.Result, error) {
 	out := make([]*bistpath.Result, 0, len(jobs))
-	for _, br := range bistpath.SynthesizeAll(context.Background(), jobs, bistpath.BatchOptions{Workers: batchWorkers}) {
+	for _, br := range bistpath.SynthesizeAll(context.Background(), jobs, bistpath.BatchOptions{Workers: batchWorkers, Cache: batchCache}) {
 		if br.Err != nil {
 			return nil, fmt.Errorf("%s: %w", br.Name, br.Err)
 		}

@@ -29,6 +29,11 @@ var (
 	// unsynthesizable. Random-design sweeps match it to skip such
 	// designs.
 	ErrNoEmbedding = bist.ErrNoEmbedding
+
+	// ErrCacheDir is returned by NewCache when the on-disk layer's
+	// directory cannot be created or written. The in-memory layer never
+	// fails; a Cache constructed without a Dir cannot return this.
+	ErrCacheDir = errors.New("bistpath: cache directory unavailable")
 )
 
 // SynthesisError attributes a synthesis failure to the pipeline phase

@@ -451,6 +451,25 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	return plan, plan.Validate(dp)
 }
 
+// PlanFromEmbeddings reconstructs the complete Plan implied by a chosen
+// embedding set: register styles, the upgrade area and the session
+// schedule are all derived from the embeddings, exactly as Optimize
+// derives them from its winning set. It exists for the result cache,
+// which persists only the embeddings; callers must still run
+// Plan.Validate against the data path before trusting foreign
+// embeddings.
+func PlanFromEmbeddings(model area.Model, embs map[string]Embedding, exact bool) *Plan {
+	styles := stylesOf(embs)
+	p := &Plan{
+		Embeddings: embs,
+		Styles:     styles,
+		ExtraArea:  extraArea(model, styles),
+		Exact:      exact,
+	}
+	p.Sessions = ScheduleSessions(p)
+	return p
+}
+
 // Validate checks that the plan's embeddings exist in the data path, the
 // styles match the embeddings' duties, and the sessions are conflict-free
 // and cover every module exactly once.

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// diskMagic is the first token of every on-disk entry. The second token
+// is the store format version: bumping it orphans (never breaks) old
+// entries, which simply stop matching and are treated as misses.
+const (
+	diskMagic   = "bistpath-cache"
+	diskVersion = 1
+)
+
+// DiskStats snapshots a Disk store's activity since creation.
+type DiskStats struct {
+	Hits   int64 // Get calls that returned a payload
+	Misses int64 // Get calls that found nothing usable
+	Writes int64 // entries persisted
+	Errors int64 // write failures and corrupt entries discarded
+}
+
+// Disk is a corruption-tolerant persistent layer: one file per key
+// under dir, each framed with a format version and a SHA-256 of the
+// payload. Every failure mode on the read path — missing file, foreign
+// format, truncation, checksum mismatch — is reported as a miss, never
+// as an error; detected corruption is deleted best-effort. Writes are
+// atomic (temp file + rename) and best-effort: a failed write counts in
+// Stats but does not fail the caller. All methods are safe for
+// concurrent use, including by multiple processes sharing the
+// directory.
+type Disk struct {
+	dir    string
+	hits   atomic.Int64
+	misses atomic.Int64
+	writes atomic.Int64
+	errors atomic.Int64
+}
+
+// NewDisk opens (creating if needed) a persistent store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	vdir := filepath.Join(dir, fmt.Sprintf("v%d", diskVersion))
+	if err := os.MkdirAll(vdir, 0o777); err != nil {
+		return nil, err
+	}
+	return &Disk{dir: vdir}, nil
+}
+
+// path spreads entries over 256 subdirectories by the key's first byte
+// so huge sweeps do not pile every entry into one directory.
+func (d *Disk) path(k Key) string {
+	h := k.Hex()
+	return filepath.Join(d.dir, h[:2], h+".entry")
+}
+
+// Get returns the payload stored under k, or ok=false on any miss —
+// including every form of corruption.
+func (d *Disk) Get(k Key) ([]byte, bool) {
+	p := d.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := decodeFrame(k, data)
+	if !ok {
+		// A bad entry is a miss, never an error; drop it so the slot
+		// heals on the next store.
+		os.Remove(p)
+		d.errors.Add(1)
+		d.misses.Add(1)
+		return nil, false
+	}
+	d.hits.Add(1)
+	return payload, true
+}
+
+// Put persists payload under k, best-effort.
+func (d *Disk) Put(k Key, payload []byte) {
+	p := d.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o777); err != nil {
+		d.errors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		d.errors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(encodeFrame(k, payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		d.errors.Add(1)
+		return
+	}
+	d.writes.Add(1)
+}
+
+// Stats snapshots the store's counters.
+func (d *Disk) Stats() DiskStats {
+	return DiskStats{
+		Hits:   d.hits.Load(),
+		Misses: d.misses.Load(),
+		Writes: d.writes.Load(),
+		Errors: d.errors.Load(),
+	}
+}
+
+// encodeFrame frames a payload as
+//
+//	bistpath-cache <version> <key> <sha256(payload)>\n<payload>
+//
+// so a reader can reject truncated, overwritten or foreign files
+// without trusting their content.
+func encodeFrame(k Key, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %d %s %s\n", diskMagic, diskVersion, k.Hex(), hex.EncodeToString(sum[:]))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeFrame validates the frame around a stored payload.
+func decodeFrame(k Key, data []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	fields := bytes.Fields(data[:nl])
+	if len(fields) != 4 || string(fields[0]) != diskMagic ||
+		string(fields[1]) != fmt.Sprint(diskVersion) || string(fields[2]) != k.Hex() {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != string(fields[3]) {
+		return nil, false
+	}
+	return payload, true
+}

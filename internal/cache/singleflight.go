@@ -1,0 +1,56 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-progress computation shared by a leader and any
+// number of joiners.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Group coalesces concurrent computations of the same key: the first
+// caller (the leader) runs fn, later callers for the same key block
+// until the leader finishes and share its outcome. Unlike
+// golang.org/x/sync/singleflight, joiners respect their own context —
+// a joiner whose context expires stops waiting with ctx.Err() while
+// the leader keeps running for the others.
+type Group struct {
+	mu      sync.Mutex
+	flights map[Key]*flight
+}
+
+// Do runs fn under the singleflight protocol. shared reports whether
+// the outcome came from another caller's execution — callers use it to
+// decide whether a context-cancellation error belongs to them (their
+// own run) or to a leader whose cancellation they may retry past.
+func (g *Group) Do(ctx context.Context, k Key, fn func() (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[Key]*flight)
+	}
+	if f, ok := g.flights[k]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[k] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, k)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

@@ -1,6 +1,9 @@
 package bistpath
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"time"
+)
 
 // ResultSchemaVersion is the version tag embedded in Result.JSON()
 // output ("schema"). It is bumped whenever a field is removed or changes
@@ -65,6 +68,48 @@ type statsJSON struct {
 	CaseOverrides        int64 `json:"case_overrides"`
 }
 
+// statsToJSON converts Stats to its wire form. The cache-view fields
+// (CacheHit and friends) have no wire counterparts: Result.JSON() from a
+// cache hit must stay byte-identical to the populating cold run, so they
+// exist only on the Go struct.
+func statsToJSON(s Stats) statsJSON {
+	return statsJSON{
+		TotalNS:              int64(s.Total),
+		ValidateNS:           int64(s.Validate),
+		RegisterBindNS:       int64(s.RegisterBind),
+		InterconnectNS:       int64(s.Interconnect),
+		DatapathNS:           int64(s.Datapath),
+		BISTSearchNS:         int64(s.BISTSearch),
+		SearchNodes:          s.SearchNodes,
+		BoundPrunes:          s.BoundPrunes,
+		IncumbentUpdates:     s.IncumbentUpdates,
+		EmbeddingsEnumerated: s.EmbeddingsEnumerated,
+		SearchWorkers:        s.SearchWorkers,
+		Lemma2Checks:         s.Lemma2Checks,
+		CaseOverrides:        s.CaseOverrides,
+	}
+}
+
+// statsFromJSON is the inverse of statsToJSON, used when a disk cache
+// entry replays the populating run's frozen stats.
+func statsFromJSON(j statsJSON) Stats {
+	return Stats{
+		Total:                time.Duration(j.TotalNS),
+		Validate:             time.Duration(j.ValidateNS),
+		RegisterBind:         time.Duration(j.RegisterBindNS),
+		Interconnect:         time.Duration(j.InterconnectNS),
+		Datapath:             time.Duration(j.DatapathNS),
+		BISTSearch:           time.Duration(j.BISTSearchNS),
+		SearchNodes:          j.SearchNodes,
+		BoundPrunes:          j.BoundPrunes,
+		IncumbentUpdates:     j.IncumbentUpdates,
+		EmbeddingsEnumerated: j.EmbeddingsEnumerated,
+		SearchWorkers:        j.SearchWorkers,
+		Lemma2Checks:         j.Lemma2Checks,
+		CaseOverrides:        j.CaseOverrides,
+	}
+}
+
 // JSON renders the result as an indented, machine-readable JSON document
 // with a stable schema (see resultJSON above and the README's
 // Observability section). Everything except the "stats" object is
@@ -85,21 +130,7 @@ func (r *Result) JSON() ([]byte, error) {
 		OverheadPct:    r.OverheadPct,
 		StyleCounts:    r.StyleCounts,
 		Sessions:       r.Sessions,
-		Stats: statsJSON{
-			TotalNS:              int64(r.Stats.Total),
-			ValidateNS:           int64(r.Stats.Validate),
-			RegisterBindNS:       int64(r.Stats.RegisterBind),
-			InterconnectNS:       int64(r.Stats.Interconnect),
-			DatapathNS:           int64(r.Stats.Datapath),
-			BISTSearchNS:         int64(r.Stats.BISTSearch),
-			SearchNodes:          r.Stats.SearchNodes,
-			BoundPrunes:          r.Stats.BoundPrunes,
-			IncumbentUpdates:     r.Stats.IncumbentUpdates,
-			EmbeddingsEnumerated: r.Stats.EmbeddingsEnumerated,
-			SearchWorkers:        r.Stats.SearchWorkers,
-			Lemma2Checks:         r.Stats.Lemma2Checks,
-			CaseOverrides:        r.Stats.CaseOverrides,
-		},
+		Stats:          statsToJSON(r.Stats),
 	}
 	if doc.Sessions == nil {
 		doc.Sessions = [][]string{}

@@ -1,20 +1,27 @@
-// jsoncheck validates that stdin is well-formed JSON and, for bistpath
-// result documents, that the schema essentials are present. CI pipes
-// `bistpath synth -bench all -json` through it so a schema regression
-// fails the build rather than a downstream consumer.
+// jsoncheck validates that stdin is well-formed JSON and that the
+// bistpath schema essentials are present. CI pipes the machine-readable
+// CLI outputs through it so a schema regression fails the build rather
+// than a downstream consumer:
 //
-// Accepts either a single result object or an array of them (the
-// -bench all form). Exits non-zero with a diagnostic on any problem.
+//	bistpath synth  -bench all -json | jsoncheck
+//	bistpath verify -bench all -json | jsoncheck -kind verify
+//
+// Accepts either a single document or an array of them (the -bench all
+// form). Exits non-zero with a diagnostic on any problem.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 )
 
 func main() {
+	kind := flag.String("kind", "synth", "document schema to enforce: synth (Result.JSON) or verify (VerifyReport)")
+	flag.Parse()
+
 	data, err := io.ReadAll(os.Stdin)
 	if err != nil {
 		fatal("read stdin: %v", err)
@@ -30,6 +37,18 @@ func main() {
 	if len(docs) == 0 {
 		fatal("empty result set")
 	}
+	switch *kind {
+	case "synth":
+		checkSynth(docs)
+	case "verify":
+		checkVerify(docs)
+	default:
+		fatal("unknown -kind %q (want synth or verify)", *kind)
+	}
+	fmt.Printf("jsoncheck: %d %s document(s) ok\n", len(docs), *kind)
+}
+
+func checkSynth(docs []map[string]any) {
 	required := []string{"schema", "name", "mode", "width", "registers", "modules",
 		"base_area", "bist_area", "overhead_pct", "sessions", "stats"}
 	for i, doc := range docs {
@@ -46,7 +65,27 @@ func main() {
 			fatal("result %d (%v): stats.search_nodes = %v, want > 0", i, doc["name"], stats["search_nodes"])
 		}
 	}
-	fmt.Printf("jsoncheck: %d result document(s) ok\n", len(docs))
+}
+
+func checkVerify(docs []map[string]any) {
+	required := []string{"design", "violations", "vectors", "plan_cost", "plan_exact",
+		"embedding_oracle_ran", "binding_oracle_ran"}
+	for i, doc := range docs {
+		for _, key := range required {
+			if _, ok := doc[key]; !ok {
+				fatal("report %d: missing key %q", i, key)
+			}
+		}
+		// violations must be an array (empty on a pass, and a CI run
+		// validating schema expects passes — a violation here means the
+		// pipeline should already have failed upstream).
+		if _, ok := doc["violations"].([]any); !ok && doc["violations"] != nil {
+			fatal("report %d (%v): violations is not an array", i, doc["design"])
+		}
+		if v, _ := doc["vectors"].(float64); v <= 0 {
+			fatal("report %d (%v): vectors = %v, want > 0", i, doc["design"], doc["vectors"])
+		}
+	}
 }
 
 func fatal(format string, args ...any) {

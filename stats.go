@@ -73,6 +73,18 @@ type Stats struct {
 	// Register binder effort (zero in traditional mode).
 	Lemma2Checks  int64 // trial Lemma-2 evaluations during coloring
 	CaseOverrides int64 // Case 1/2 diversions that changed the choice
+
+	// Result-cache interaction, filled only when Config.Cache was set.
+	// These are the one part of Stats deliberately excluded from
+	// Result.JSON(): a cache hit replays the populating run's Stats so
+	// its JSON stays byte-identical to the cold run, which a live
+	// hit-count could never be. The per-run cache view therefore lives
+	// on the Go struct only.
+	CacheHit       bool  // this Result was served from Config.Cache
+	CacheHits      int64 // cache hits observed by Config.Cache so far
+	CacheMisses    int64 // cache misses (full syntheses) so far
+	CacheEvictions int64 // in-memory entries evicted so far
+	CacheBytes     int64 // in-memory bytes held after this run
 }
 
 // PhaseSum returns the sum of the per-phase wall times. It is at most
@@ -91,6 +103,14 @@ func (s Stats) String() string {
 		s.SearchNodes, s.BoundPrunes, s.IncumbentUpdates, s.EmbeddingsEnumerated, s.SearchWorkers)
 	fmt.Fprintf(&sb, "    binder: %d Lemma-2 checks, %d case overrides\n",
 		s.Lemma2Checks, s.CaseOverrides)
+	if s.CacheHit || s.CacheHits+s.CacheMisses > 0 {
+		served := "synthesized"
+		if s.CacheHit {
+			served = "served from cache"
+		}
+		fmt.Fprintf(&sb, "    cache: %s; %d hits, %d misses, %d evictions, %d bytes\n",
+			served, s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheBytes)
+	}
 	return sb.String()
 }
 
@@ -107,6 +127,10 @@ const (
 	// bound (SearchNodes is the cumulative node count so far). These
 	// events come from search worker goroutines.
 	SearchProgress
+	// CacheHit fires once when Config.Cache serves the run instead of a
+	// full synthesis. Phase events still precede it for disk-layer hits
+	// (the cheap phases re-run), but never a PhaseBISTSearch pair.
+	CacheHit
 )
 
 func (k EventKind) String() string {
@@ -117,6 +141,8 @@ func (k EventKind) String() string {
 		return "phase-end"
 	case SearchProgress:
 		return "search-progress"
+	case CacheHit:
+		return "cache-hit"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
@@ -153,6 +179,16 @@ var (
 	expPrunes     = expvar.NewInt("bistpath.bound_prunes")
 	expEmbeddings = expvar.NewInt("bistpath.embeddings_enumerated")
 	expBatchJobs  = expvar.NewInt("bistpath.batch_jobs")
+
+	// Result-cache counters, cumulative across every Cache in the
+	// process. cache_bytes is a gauge (stores add, evictions subtract);
+	// the rest only grow.
+	expCacheHits      = expvar.NewInt("bistpath.cache_hits")
+	expCacheMisses    = expvar.NewInt("bistpath.cache_misses")
+	expCacheDiskHits  = expvar.NewInt("bistpath.cache_disk_hits")
+	expCacheStores    = expvar.NewInt("bistpath.cache_stores")
+	expCacheEvictions = expvar.NewInt("bistpath.cache_evictions")
+	expCacheBytes     = expvar.NewInt("bistpath.cache_bytes")
 )
 
 // recordRun folds one completed run into the cumulative expvar counters.

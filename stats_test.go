@@ -218,8 +218,11 @@ func TestTypedErrors(t *testing.T) {
 	// report an unscheduled graph as ErrUnscheduled, attributed to the
 	// validate phase.
 	for name, run := range map[string]func(*DFG) error{
-		"auto":     func(d *DFG) error { _, err := d.SynthesizeAuto(DefaultConfig()); return err },
-		"explicit": func(d *DFG) error { _, err := d.Synthesize(map[string]string{"add1": "M1"}, DefaultConfig()); return err },
+		"auto": func(d *DFG) error { _, err := d.SynthesizeAuto(DefaultConfig()); return err },
+		"explicit": func(d *DFG) error {
+			_, err := d.Synthesize(map[string]string{"add1": "M1"}, DefaultConfig())
+			return err
+		},
 	} {
 		err := run(unsched())
 		if !errors.Is(err, ErrUnscheduled) {
