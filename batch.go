@@ -122,7 +122,7 @@ func SynthesizeAllStats(ctx context.Context, jobs []Job, opts BatchOptions) ([]B
 				if job.Config.Cache == nil {
 					job.Config.Cache = opts.Cache
 				}
-				results[i] = runJob(ctx, job)
+				results[i] = RunJob(ctx, job)
 				busy.Add(int64(results[i].Duration))
 			}
 		}()
@@ -154,6 +154,58 @@ feed:
 	}
 }
 
+// Pool is a persistent, process-wide synthesis worker pool: a bounded
+// set of slots that outlives any single batch. Where SynthesizeAll
+// serves the one-shot "here are N jobs" shape, a Pool serves long-lived
+// callers — most prominently the bistpathd service — that receive jobs
+// over time and need every submission in the process to share one
+// concurrency budget. A Pool is safe for concurrent use.
+type Pool struct {
+	sem     chan struct{}
+	workers int
+}
+
+// NewPool creates a pool with the given number of worker slots
+// (0 or negative = runtime.GOMAXPROCS(0)).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers), workers: workers}
+}
+
+// Workers returns the pool's slot count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Acquire blocks until a worker slot is free or ctx is done. On success
+// the caller owns one slot and must Release it exactly once.
+func (p *Pool) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (p *Pool) Release() { <-p.sem }
+
+// Do runs one job on the pool with the batch execution semantics
+// (panic recovery, cancellation, Duration accounting), blocking until a
+// slot is free. A job refused by cancellation before acquiring a slot
+// fails with ctx.Err().
+func (p *Pool) Do(ctx context.Context, j Job) BatchResult {
+	if err := p.Acquire(ctx); err != nil {
+		return BatchResult{Name: jobName(j), Err: err}
+	}
+	defer p.Release()
+	return RunJob(ctx, j)
+}
+
 func jobName(j Job) string {
 	if j.Name != "" {
 		return j.Name
@@ -164,10 +216,18 @@ func jobName(j Job) string {
 	return ""
 }
 
-// runJob synthesizes one job through the single SynthesizeCtx core path,
+// RunJob synthesizes one job through the single SynthesizeCtx core path,
 // converting a panic into a per-job error so a single bad design cannot
-// take down the whole batch.
-func runJob(ctx context.Context, j Job) (br BatchResult) {
+// take down the whole batch (or a whole server). It is the per-job
+// execution primitive under SynthesizeAll and Pool.Do; use it directly
+// when the caller manages its own concurrency.
+//
+// When a panic is recovered and the job has an Observer, the observer
+// receives one final PanicRecovered event: without it a streaming
+// subscriber (e.g. an SSE client of bistpathd) would wait forever for a
+// conclusion that cannot come, because the panic unwound past the
+// pipeline before any terminal phase event fired.
+func RunJob(ctx context.Context, j Job) (br BatchResult) {
 	br.Name = jobName(j)
 	start := time.Now()
 	defer func() {
@@ -175,6 +235,7 @@ func runJob(ctx context.Context, j Job) (br BatchResult) {
 		if r := recover(); r != nil {
 			br.Result = nil
 			br.Err = fmt.Errorf("bistpath: job %q panicked: %v", br.Name, r)
+			notifyPanicRecovered(j.Config.Observer, br.Name)
 		}
 	}()
 	if err := ctx.Err(); err != nil {
@@ -187,4 +248,16 @@ func runJob(ctx context.Context, j Job) (br BatchResult) {
 	}
 	br.Result, br.Err = j.DFG.SynthesizeCtx(ctx, j.Modules, j.Config)
 	return br
+}
+
+// notifyPanicRecovered delivers the terminal PanicRecovered event to an
+// observer after a job panic. The observer itself may be what panicked,
+// so a second panic here is swallowed — the job's error is already set
+// and there is nobody better to tell.
+func notifyPanicRecovered(obs Observer, design string) {
+	if obs == nil {
+		return
+	}
+	defer func() { _ = recover() }()
+	obs(Event{Design: design, Kind: PanicRecovered})
 }

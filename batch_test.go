@@ -2,9 +2,11 @@ package bistpath
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -193,6 +195,119 @@ func TestSynthesizeAllPanicRecovery(t *testing.T) {
 	}
 	if rs[1].Result != nil {
 		t.Error("bad job: Result and Err both set")
+	}
+}
+
+// The panic-recovery terminal-event contract: a recovered job's
+// observer receives exactly one PanicRecovered event and nothing after
+// it, so a streaming subscriber is never left waiting for a conclusion
+// that cannot come. (Regression: a panicking job used to end with no
+// terminal event at all.)
+func TestRunJobPanicTerminalEvent(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	cfg := DefaultConfig()
+	cfg.Observer = func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	}
+	// A DFG with no internal graph panics deep inside synthesis, before
+	// any phase event fires.
+	br := RunJob(context.Background(), Job{Name: "bad", DFG: &DFG{}, Config: cfg})
+	if br.Err == nil || !strings.Contains(br.Err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic", br.Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("observer saw no events; want a terminal PanicRecovered")
+	}
+	terminals := 0
+	for _, e := range events {
+		if e.Kind == PanicRecovered {
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("observer saw %d PanicRecovered events, want exactly 1", terminals)
+	}
+	if last := events[len(events)-1]; last.Kind != PanicRecovered || last.Design != "bad" {
+		t.Fatalf("last event = %+v, want terminal PanicRecovered for %q", last, "bad")
+	}
+}
+
+// An observer that itself panics mid-run is the realistic server-side
+// trigger (it runs inline with synthesis). The batch layer must still
+// attempt the terminal event — and survive the observer panicking again
+// while receiving it.
+func TestSynthesizeAllObserverPanicTerminalEvent(t *testing.T) {
+	d, mods, err := Benchmark("ex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []Event
+	panicked := false
+	cfg := DefaultConfig()
+	cfg.Observer = func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		fire := e.Kind == PhaseEnd && !panicked
+		if fire {
+			panicked = true
+		}
+		mu.Unlock()
+		if fire {
+			panic("observer boom")
+		}
+	}
+	rs := SynthesizeAll(context.Background(),
+		[]Job{{DFG: d, Modules: mods, Config: cfg}}, BatchOptions{Workers: 1})
+	if rs[0].Err == nil || !strings.Contains(rs[0].Err.Error(), "panicked") {
+		t.Fatalf("err = %v, want recovered panic", rs[0].Err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if last := events[len(events)-1]; last.Kind != PanicRecovered {
+		t.Fatalf("last event kind = %v, want PanicRecovered", last.Kind)
+	}
+}
+
+// Pool is the persistent form of the batch pool: slots survive panics
+// and refuse work only on the caller's own cancellation.
+func TestPoolDo(t *testing.T) {
+	d, mods, err := Benchmark("ex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool(2)
+	if p.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", p.Workers())
+	}
+	br := p.Do(context.Background(), Job{DFG: d, Modules: mods, Config: DefaultConfig()})
+	if br.Err != nil {
+		t.Fatalf("Do: %v", br.Err)
+	}
+	if br.Name != "ex1" {
+		t.Errorf("Name = %q, want ex1 (defaulted from the DFG)", br.Name)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if br := p.Do(ctx, Job{DFG: d, Modules: mods, Config: DefaultConfig()}); !errors.Is(br.Err, context.Canceled) {
+		t.Fatalf("cancelled Do: err = %v, want context.Canceled", br.Err)
+	}
+
+	// Slots are released even when jobs panic: more panicking jobs than
+	// slots, then a good job, must not wedge.
+	for i := 0; i < 5; i++ {
+		if br := p.Do(context.Background(), Job{Name: "bad", DFG: &DFG{}, Config: DefaultConfig()}); br.Err == nil {
+			t.Fatal("panicking job reported success")
+		}
+	}
+	if br := p.Do(context.Background(), Job{DFG: d, Modules: mods, Config: DefaultConfig()}); br.Err != nil {
+		t.Fatalf("pool wedged after panics: %v", br.Err)
 	}
 }
 

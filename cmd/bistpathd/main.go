@@ -1,0 +1,117 @@
+// Command bistpathd serves the bistpath synthesis library as a
+// multi-tenant HTTP daemon: submit scheduled DFGs or built-in benchmark
+// names as jobs, poll their status, stream live progress events over
+// SSE, and fetch completed results as the exact bytes `bistpath synth
+// -json` prints.
+//
+// Usage:
+//
+//	bistpathd [-addr :8157] [-j N] [-cache] [-cache-dir DIR]
+//	          [-body-limit N] [-timeout D] [-drain-timeout D]
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit {"benchmark":"ex1"} or {"dfg":"...","modules":{...},"config":{...}}
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        poll status (+ result document once done)
+//	GET    /v1/jobs/{id}/result completed Result.JSON(), byte-identical to the CLI
+//	GET    /v1/jobs/{id}/events SSE stream of phase/progress events
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/benchmarks       built-in design names
+//	GET    /metrics             expvar counters (bistpath.* and bistpathd.*)
+//	GET    /healthz             readiness (503 while draining)
+//
+// On SIGTERM or SIGINT the daemon drains: new submissions answer 503,
+// in-flight jobs finish (or are cancelled at -drain-timeout), SSE
+// streams flush their terminal events, and the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bistpath"
+	"bistpath/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8157", "listen address")
+	workers := flag.Int("j", 0, "synthesis worker pool size shared by all jobs (0 = GOMAXPROCS)")
+	cacheFlag := flag.Bool("cache", true, "share an in-memory result cache across jobs (duplicate submissions coalesce)")
+	cacheDir := flag.String("cache-dir", "", "also persist cached results under this directory (implies -cache)")
+	cacheBytes := flag.Int64("cache-max-bytes", 0, "in-memory cache budget in bytes (0 = library default)")
+	bodyLimit := flag.Int64("body-limit", server.DefaultMaxBody, "request body size limit in bytes")
+	timeout := flag.Duration("timeout", server.DefaultTimeout, "per-request timeout for non-streaming endpoints")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
+	heartbeat := flag.Duration("sse-heartbeat", server.DefaultHeartbeat, "SSE keepalive comment interval")
+	flag.Parse()
+
+	if err := run(*addr, server.Options{
+		Workers:   *workers,
+		MaxBody:   *bodyLimit,
+		Timeout:   *timeout,
+		Heartbeat: *heartbeat,
+	}, *cacheFlag, *cacheDir, *cacheBytes, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "bistpathd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, opts server.Options, useCache bool, cacheDir string, cacheBytes int64, drainTimeout time.Duration) error {
+	if useCache || cacheDir != "" {
+		cc, err := bistpath.NewCache(bistpath.CacheOptions{Dir: cacheDir, MaxBytes: cacheBytes})
+		if err != nil {
+			return err
+		}
+		opts.Cache = cc
+	}
+	srv := server.New(opts)
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bistpathd: listening on %s", addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("bistpathd: draining (timeout %v)", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("bistpathd: drain deadline hit, in-flight jobs cancelled")
+	}
+	// All jobs are terminal and SSE streams end with their terminal
+	// events, so Shutdown observes handlers finishing promptly.
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bistpathd: drained cleanly")
+	return nil
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func key(b byte) Key {
@@ -282,6 +283,58 @@ func TestSingleflightJoinerCancellation(t *testing.T) {
 		t.Fatal("self-cancelled joiner should report shared=false")
 	}
 	close(block)
+}
+
+// A panicking leader must not wedge its joiners: the flight resolves
+// with ErrLeaderPanicked (regression: the done channel used to stay
+// open forever, so a panic inside one cached synthesis would hang every
+// concurrent identical request in a server).
+func TestSingleflightLeaderPanic(t *testing.T) {
+	var g Group
+	leaderIn := make(chan struct{})
+	joinerIn := make(chan struct{})
+	joined := make(chan struct{})
+	var joinErr error
+	var joinShared bool
+	go func() {
+		defer close(joined)
+		<-leaderIn
+		close(joinerIn)
+		// If scheduling delays this goroutine past the whole flight it
+		// leads a fresh one; that is legal, so the fallback fn is benign.
+		_, err, shared := g.Do(context.Background(), key(9), func() (any, error) {
+			return "fresh", nil
+		})
+		joinErr, joinShared = err, shared
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate to its caller")
+			}
+		}()
+		g.Do(context.Background(), key(9), func() (any, error) {
+			close(leaderIn)
+			<-joinerIn // the joiner is at (or entering) Do; let it block
+			time.Sleep(20 * time.Millisecond)
+			panic("leader boom")
+		})
+	}()
+	<-joined
+	// The joiner either shared the panicked flight's outcome or raced
+	// past it and led its own (fresh) flight; only the former is
+	// guaranteed an error, but neither may hang — reaching here at all
+	// is the regression assertion.
+	if joinShared && !errors.Is(joinErr, ErrLeaderPanicked) {
+		t.Fatalf("joiner err = %v; want ErrLeaderPanicked", joinErr)
+	}
+	// The key is free again: a later call runs fresh.
+	v, err, _ := g.Do(context.Background(), key(9), func() (any, error) {
+		return "ok", nil
+	})
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after panic = %v, %v", v, err)
+	}
 }
 
 func TestSingleflightErrorPropagates(t *testing.T) {

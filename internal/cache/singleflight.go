@@ -2,8 +2,15 @@ package cache
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrLeaderPanicked resolves the flight of a leader whose fn panicked:
+// the panic propagates to the leader's caller (which is expected to
+// recover it), while joiners receive this error instead of blocking on
+// a done channel that would otherwise never close.
+var ErrLeaderPanicked = errors.New("cache: singleflight leader panicked")
 
 // flight is one in-progress computation shared by a leader and any
 // number of joiners.
@@ -46,11 +53,20 @@ func (g *Group) Do(ctx context.Context, k Key, fn func() (any, error)) (v any, e
 	g.flights[k] = f
 	g.mu.Unlock()
 
+	// Resolve the flight even if fn panics: the deferred block runs
+	// while the panic unwinds, so joiners wake with ErrLeaderPanicked
+	// rather than waiting forever, and the key is free for a retry.
+	finished := false
+	defer func() {
+		if !finished {
+			f.val, f.err = nil, ErrLeaderPanicked
+		}
+		g.mu.Lock()
+		delete(g.flights, k)
+		g.mu.Unlock()
+		close(f.done)
+	}()
 	f.val, f.err = fn()
-
-	g.mu.Lock()
-	delete(g.flights, k)
-	g.mu.Unlock()
-	close(f.done)
+	finished = true
 	return f.val, f.err, false
 }

@@ -1,0 +1,43 @@
+package server
+
+import "context"
+
+// Drain runs the graceful-shutdown state machine:
+//
+//	serving ──Drain()──▶ draining ──all jobs terminal──▶ drained
+//	                        │
+//	                        └──ctx deadline──▶ canceling ──▶ drained
+//
+// Entering draining: new submissions answer 503 and /healthz flips to
+// 503 (readiness off), while polls, result fetches and SSE streams keep
+// being served — in-flight jobs run to completion and their subscribers
+// receive the full stream.
+//
+// If ctx expires first, every remaining job context is cancelled; the
+// branch and bound polls its context, so each job concludes promptly
+// with a `canceled` terminal event rather than being abandoned
+// mid-search. Drain still waits for those conclusions: when it returns,
+// every admitted job has reached a terminal state and published its
+// terminal event, so SSE streams end by themselves and the caller's
+// http.Server.Shutdown observes the handlers finishing.
+//
+// Returns nil when all jobs finished naturally, or ctx.Err() when the
+// deadline forced cancellation. Drain is idempotent; concurrent calls
+// all wait for the same conclusion.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.jobs.startDrain()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.jobs.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// apiError is the service's typed error: an HTTP status, a message, and
+// (for synthesis validation failures) the pipeline phase attribution
+// carried onto the wire, mirroring bistpath.SynthesisError.
+type apiError struct {
+	status int
+	msg    string
+	phase  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+// errorJSON is the wire form of every error response.
+type errorJSON struct {
+	Error     string `json:"error"`
+	Phase     string `json:"phase,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	Status    int    `json:"status"`
+}
+
+// writeJSON renders v with a trailing newline (friendly to curl).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders an apiError (anything else becomes a 500) with the
+// request ID, so a failure in a log line is matchable to a response.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	ae, ok := err.(*apiError)
+	if !ok {
+		ae = &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	writeJSON(w, ae.status, errorJSON{
+		Error:     ae.msg,
+		Phase:     ae.phase,
+		RequestID: RequestID(r),
+		Status:    ae.status,
+	})
+}
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// RequestID returns the request's ID (from the middleware), or "".
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// newID returns a short random identifier with the given prefix.
+func newID(prefix string) string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived suffix rather than aborting the request.
+		return fmt.Sprintf("%s-%012x", prefix, time.Now().UnixNano())
+	}
+	return prefix + "-" + hex.EncodeToString(b[:])
+}
+
+// withRequestID accepts a sane client-provided X-Request-ID or mints one,
+// reflects it in the response header, and stores it in the context.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" || len(id) > 64 {
+			id = newID("r")
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+	})
+}
+
+// statusWriter tracks whether the response has started, so the recovery
+// middleware knows whether a clean 500 is still possible. It forwards
+// Flush so SSE streaming survives the wrapping.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// withRecover converts a handler panic into a 500 carrying the request
+// ID; the connection's goroutine survives, so the server keeps serving.
+// http.ErrAbortHandler (client went away mid-stream) passes through as
+// the net/http package expects.
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			expHandlerPanics.Add(1)
+			if !sw.wrote {
+				writeError(sw, r, &apiError{status: http.StatusInternalServerError,
+					msg: "internal server error"})
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// withBodyLimit caps every request body; a handler reading past the cap
+// sees *http.MaxBytesError and responds 413.
+func withBodyLimit(n int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, n)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds non-streaming handlers. The timeout body matches
+// the service's error JSON shape (http.TimeoutHandler writes it
+// verbatim with a 503).
+func withTimeout(d time.Duration, next http.Handler) http.Handler {
+	body, _ := json.Marshal(errorJSON{Error: "request timed out", Status: http.StatusServiceUnavailable})
+	return http.TimeoutHandler(next, d, string(body))
+}

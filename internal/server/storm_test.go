@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bistpath"
+)
+
+// stormVariants are the distinct synthesis inputs the storm mixes. Every
+// submitter cycles through them, so most submissions are duplicates of
+// an earlier one — which is exactly what the shared cache's singleflight
+// must coalesce.
+var stormVariants = []string{
+	`{"benchmark":"ex1"}`,
+	`{"benchmark":"ex2"}`,
+	`{"benchmark":"tseng1"}`,
+	`{"benchmark":"tseng2"}`,
+	`{"benchmark":"paulin"}`,
+	`{"benchmark":"ex1","config":{"width":8}}`,
+	`{"benchmark":"ex2","config":{"mode":"traditional"}}`,
+	`{"benchmark":"paulin","config":{"minimize_sessions":true}}`,
+}
+
+// The race/soak storm: many submitters mixing identical and distinct
+// jobs, subscribers attaching and detaching mid-flight, a drain partway
+// through, and a goroutine-leak check at the end. Run with -race.
+func TestServiceStorm(t *testing.T) {
+	settleGoroutines(t, 0) // flush leftovers from earlier tests
+	baseline := runtime.NumGoroutine()
+
+	cc, err := bistpath.NewCache(bistpath.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Workers: 4, Cache: cc, Heartbeat: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	const (
+		submitters = 12
+		rounds     = 3
+	)
+	var (
+		mu       sync.Mutex
+		ids      []string
+		refused  int
+		subWG    sync.WaitGroup
+		submitWG sync.WaitGroup
+	)
+
+	// subscribe attaches an SSE client to the job. Odd subscribers
+	// detach mid-flight by cancelling their request context; even ones
+	// read the stream to its terminal event.
+	subscribe := func(id string, detach bool) {
+		defer subWG.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			return // detached before headers; fine under storm conditions
+		}
+		defer resp.Body.Close()
+		if detach {
+			buf := make([]byte, 256)
+			resp.Body.Read(buf)
+			cancel() // walk away mid-stream
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Errorf("subscriber %s: %v", id, err)
+			return
+		}
+		if n := strings.Count(string(body), "event: done") +
+			strings.Count(string(body), "event: failed") +
+			strings.Count(string(body), "event: canceled"); n != 1 {
+			t.Errorf("subscriber %s: %d terminal events in stream", id, n)
+		}
+	}
+
+	for i := 0; i < submitters; i++ {
+		submitWG.Add(1)
+		go func(i int) {
+			defer submitWG.Done()
+			for k := 0; k < rounds; k++ {
+				payload := stormVariants[(i*rounds+k)%len(stormVariants)]
+				resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(payload))
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					mu.Lock()
+					refused++
+					mu.Unlock()
+					return // the drain has begun; stop submitting
+				}
+				if resp.StatusCode != http.StatusAccepted {
+					t.Errorf("submit: status %d, body %s", resp.StatusCode, body)
+					return
+				}
+				var sub submitResponse
+				if err := json.Unmarshal(body, &sub); err != nil {
+					t.Errorf("submit response: %v", err)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, sub.ID)
+				mu.Unlock()
+				subWG.Add(2)
+				go subscribe(sub.ID, false)
+				go subscribe(sub.ID, true)
+			}
+		}(i)
+	}
+
+	// Drain partway: wait until a decent batch is in flight, then pull
+	// the plug with a generous deadline so in-flight jobs finish
+	// naturally rather than being cancelled.
+	for {
+		mu.Lock()
+		n := len(ids)
+		mu.Unlock()
+		if n >= submitters {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), 60*time.Second)
+	if err := srv.Drain(dctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+	dcancel()
+	submitWG.Wait()
+	subWG.Wait()
+
+	// Everything admitted before the drain reached a terminal state.
+	mu.Lock()
+	admitted := append([]string(nil), ids...)
+	mu.Unlock()
+	for _, id := range admitted {
+		resp, body := getJSON(t, ts.URL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll %s: %d", id, resp.StatusCode)
+		}
+		var v jobJSON
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if !v.Status.Terminal() {
+			t.Errorf("job %s still %s after drain", id, v.Status)
+		}
+		if v.Status == StatusFailed {
+			t.Errorf("job %s failed: %s", id, v.Error)
+		}
+	}
+
+	// Duplicate submissions coalesced: the cache synthesized each
+	// distinct input at most once, no matter how many times it was
+	// submitted concurrently.
+	if m := cc.Stats().Misses; m > int64(len(stormVariants)) {
+		t.Errorf("cache misses = %d, want ≤ %d distinct inputs (stats: %v)",
+			m, len(stormVariants), cc.Stats())
+	}
+	if len(admitted) > len(stormVariants) && cc.Stats().Hits+cc.Stats().Coalesced == 0 {
+		t.Errorf("no cache hits across %d submissions of %d distinct inputs",
+			len(admitted), len(stormVariants))
+	}
+	t.Logf("storm: %d admitted, %d refused by drain, cache %v", len(admitted), refused, cc.Stats())
+
+	// A drained server still answers polls but refuses new work.
+	resp, _ := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"benchmark":"ex1"}`))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d, want 503", resp.StatusCode)
+	}
+
+	// No leaked goroutines: tear the transport down and wait for the
+	// count to settle back to the pre-storm baseline.
+	client.CloseIdleConnections()
+	ts.Close()
+	settleGoroutines(t, baseline)
+}
+
+// settleGoroutines waits for the goroutine count to drop to the given
+// baseline (plus a little slack for runtime helpers). A count that never
+// settles is a leak: some job, subscriber or handler goroutine outlived
+// the drain.
+func settleGoroutines(t testing.TB, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines did not settle: %d > baseline %d + %d\n%s",
+				n, baseline, slack, buf)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Identical jobs submitted at the same instant coalesce onto one
+// synthesis: a tighter, deterministic version of the storm's
+// singleflight assertion.
+func TestDuplicateSubmissionsCoalesce(t *testing.T) {
+	cc, err := bistpath.NewCache(bistpath.CacheOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 8, Cache: cc})
+
+	const dupes = 8
+	var wg sync.WaitGroup
+	ids := make([]string, dupes)
+	for i := 0; i < dupes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = submitBenchmark(t, ts, "tseng2")
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if v := waitJob(t, ts, id); v.Status != StatusDone {
+			t.Fatalf("job %s: %s (%s)", id, v.Status, v.Error)
+		}
+	}
+	if m := cc.Stats().Misses; m != 1 {
+		t.Errorf("cache misses = %d, want 1 for %d identical submissions (stats: %v)",
+			m, dupes, cc.Stats())
+	}
+
+	// Every duplicate serves the same bytes.
+	_, first := getJSON(t, ts.URL+"/v1/jobs/"+ids[0]+"/result")
+	for _, id := range ids[1:] {
+		_, doc := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result")
+		if string(doc) != string(first) {
+			t.Errorf("job %s served different bytes than its duplicate", id)
+		}
+	}
+}
+
+// A slow SSE consumer loses oldest pending events but the stream stays
+// ordered and still ends with the terminal event; the drop count is
+// accounted. Exercises the bounded-buffer path directly at the hub layer
+// (an HTTP client can't reliably be made slow enough in a unit test).
+func TestHubSlowSubscriberDrops(t *testing.T) {
+	h := newHub()
+	sub := h.subscribe()
+	defer h.unsubscribe(sub)
+	for i := 0; i < subBufferCap+50; i++ {
+		h.publish("search-progress", map[string]int{"n": i}, false, false)
+	}
+	h.publishTerminal(string(StatusDone), terminalJSON{Status: StatusDone})
+
+	evs, dropped := sub.drain()
+	if dropped != 51 { // overflow of cap+50 progress ticks + 1 terminal
+		t.Errorf("dropped = %d, want 51", dropped)
+	}
+	if len(evs) != subBufferCap {
+		t.Errorf("queued = %d, want %d", len(evs), subBufferCap)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].seq <= evs[i-1].seq {
+			t.Fatalf("stream out of order at %d: %d after %d", i, evs[i].seq, evs[i-1].seq)
+		}
+	}
+	if last := evs[len(evs)-1]; !last.terminal {
+		t.Errorf("last surviving event is %q, want the terminal", last.name)
+	}
+
+	// The hub is closed: publishing after the terminal is a no-op.
+	h.publish("phase-start", nil, true, false)
+	if evs, _ := sub.drain(); len(evs) != 0 {
+		t.Errorf("%d events accepted after the terminal", len(evs))
+	}
+
+	// A post-mortem subscriber replays only the bounded replayable
+	// history (progress ticks were never replayable) ending in the
+	// terminal.
+	late := h.subscribe()
+	defer h.unsubscribe(late)
+	evs, _ = late.drain()
+	if len(evs) != 1 || !evs[0].terminal {
+		t.Errorf("late replay = %d events, want just the terminal", len(evs))
+	}
+}
+
+// Concurrent observers and subscribers under -race: one hub hammered
+// from many goroutines while subscribers churn.
+func TestHubConcurrency(t *testing.T) {
+	h := newHub()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.observe(bistpath.Event{Design: "d", Kind: bistpath.SearchProgress,
+					Phase: bistpath.PhaseBISTSearch, SearchNodes: int64(w*1000 + i)})
+			}
+		}(w)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := h.subscribe()
+				sub.drain()
+				h.unsubscribe(sub)
+			}
+		}()
+	}
+	wg.Wait()
+	h.publishTerminal(string(StatusDone), terminalJSON{Status: StatusDone})
+	sub := h.subscribe()
+	defer h.unsubscribe(sub)
+	evs, _ := sub.drain()
+	if len(evs) != 1 || evs[0].name != string(StatusDone) {
+		t.Fatalf("replay after churn = %+v, want one done event", evs)
+	}
+}

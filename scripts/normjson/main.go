@@ -1,0 +1,62 @@
+// normjson normalizes a bistpath Result.JSON() document for comparison
+// against the checked-in goldens in testdata/: timing fields (every
+// stats key ending in _ns) are zeroed and the document is re-marshaled
+// with Go's sorted-key indentation — the same transform the
+// TestResultJSONGolden test applies. CI uses it to diff a result fetched
+// over the bistpathd HTTP API against the golden file:
+//
+//	curl -s $URL/v1/jobs/$ID/result | normjson | diff testdata/ex1.golden.json -
+//
+// Accepts a single document or an array of them. Exits non-zero with a
+// diagnostic on malformed input.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal("read stdin: %v", err)
+	}
+	var docs []map[string]any
+	single := false
+	if err := json.Unmarshal(data, &docs); err != nil {
+		var one map[string]any
+		if err2 := json.Unmarshal(data, &one); err2 != nil {
+			fatal("not valid JSON (neither array nor object): %v", err)
+		}
+		docs = []map[string]any{one}
+		single = true
+	}
+	for i, doc := range docs {
+		stats, ok := doc["stats"].(map[string]any)
+		if !ok {
+			fatal("document %d: missing stats object", i)
+		}
+		for k := range stats {
+			if strings.HasSuffix(k, "_ns") {
+				stats[k] = 0
+			}
+		}
+	}
+	var v any = docs
+	if single {
+		v = docs[0]
+	}
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal("marshal: %v", err)
+	}
+	os.Stdout.Write(append(out, '\n'))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "normjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# service-smoke.sh boots a real bistpathd and exercises the service
+# contracts end to end over actual HTTP:
+#
+#   1. readiness   — /healthz answers once the daemon is up
+#   2. lifecycle   — submit a benchmark job, stream its SSE events to the
+#                    terminal `done`, poll the status to done
+#   3. identity    — the served result document is byte-identical to what
+#                    `bistpath synth -json` prints against the same cache
+#                    directory, and normalizes to the checked-in golden
+#   4. drain       — SIGTERM drains cleanly (exit 0, "drained cleanly" in
+#                    the log) within the deadline
+#
+# Run from anywhere; builds into a temp dir and cleans up after itself.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+addr="127.0.0.1:${BISTPATHD_PORT:-18157}"
+base="http://$addr"
+cache="$workdir/cache"
+
+go build -o "$workdir/bistpathd" ./cmd/bistpathd
+go build -o "$workdir/bistpath" ./cmd/bistpath
+go build -o "$workdir/normjson" ./scripts/normjson
+
+"$workdir/bistpathd" -addr "$addr" -cache-dir "$cache" \
+  >"$workdir/daemon.log" 2>&1 &
+pid=$!
+
+# 1. readiness
+up=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then up=1; break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "service-smoke: daemon died during startup" >&2
+    cat "$workdir/daemon.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$up" ] || { echo "service-smoke: daemon never became ready" >&2; exit 1; }
+
+# 2. lifecycle: submit, stream SSE to the terminal event, poll to done
+id=$(curl -fsS -X POST "$base/v1/jobs" -H 'Content-Type: application/json' \
+  -d '{"benchmark":"ex1"}' | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$id" ] || { echo "service-smoke: no job id in submit response" >&2; exit 1; }
+echo "service-smoke: submitted $id"
+
+curl -fsSN --max-time 30 "$base/v1/jobs/$id/events" >"$workdir/events.sse"
+grep -q '^event: done$' "$workdir/events.sse" || {
+  echo "service-smoke: SSE stream missing the done event" >&2
+  cat "$workdir/events.sse" >&2
+  exit 1
+}
+terminals=$(grep -cE '^event: (done|failed|canceled)$' "$workdir/events.sse")
+[ "$terminals" = 1 ] || {
+  echo "service-smoke: $terminals terminal SSE events, want 1" >&2; exit 1
+}
+
+status=""
+for _ in $(seq 1 300); do
+  status=$(curl -fsS "$base/v1/jobs/$id" | grep -o '"status": "[^"]*"' | cut -d'"' -f4)
+  [ "$status" = done ] && break
+  sleep 0.1
+done
+[ "$status" = done ] || {
+  echo "service-smoke: job status $status, want done" >&2; exit 1
+}
+
+# 3. byte-identity over the wire, and golden conformance
+curl -fsS "$base/v1/jobs/$id/result" >"$workdir/served.json"
+"$workdir/bistpath" synth -bench ex1 -json -cache-dir "$cache" >"$workdir/cli.json"
+cmp "$workdir/served.json" "$workdir/cli.json"
+echo "service-smoke: served result byte-identical to CLI output"
+"$workdir/normjson" <"$workdir/served.json" | diff testdata/ex1.golden.json -
+echo "service-smoke: served result matches the checked-in golden"
+
+# 4. graceful drain on SIGTERM
+kill -TERM "$pid"
+gone=""
+for _ in $(seq 1 100); do
+  if ! kill -0 "$pid" 2>/dev/null; then gone=1; break; fi
+  sleep 0.1
+done
+[ -n "$gone" ] || {
+  echo "service-smoke: daemon still running 10s after SIGTERM" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+}
+set +e
+wait "$pid"
+code=$?
+set -e
+pid=""
+[ "$code" = 0 ] || {
+  echo "service-smoke: daemon exited $code after SIGTERM" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+}
+grep -q "drained cleanly" "$workdir/daemon.log" || {
+  echo "service-smoke: daemon log missing the clean-drain marker" >&2
+  cat "$workdir/daemon.log" >&2
+  exit 1
+}
+echo "service-smoke: drained cleanly on SIGTERM"
+echo "service-smoke: ok"

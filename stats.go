@@ -131,6 +131,14 @@ const (
 	// full synthesis. Phase events still precede it for disk-layer hits
 	// (the cheap phases re-run), but never a PhaseBISTSearch pair.
 	CacheHit
+	// PanicRecovered fires once when the batch layer (SynthesizeAll,
+	// Pool.Do, RunJob) recovers a panic inside a job's synthesis. It is
+	// the terminal event of that run: the panic unwound past the
+	// pipeline, so no further phase events can follow, and observers
+	// that stream progress (e.g. SSE subscribers) must not be left
+	// waiting. Direct SynthesizeCtx calls do not recover panics and
+	// never emit it.
+	PanicRecovered
 )
 
 func (k EventKind) String() string {
@@ -143,6 +151,8 @@ func (k EventKind) String() string {
 		return "search-progress"
 	case CacheHit:
 		return "cache-hit"
+	case PanicRecovered:
+		return "panic-recovered"
 	}
 	return fmt.Sprintf("event(%d)", int(k))
 }
