@@ -2,10 +2,7 @@ package bistpath
 
 import (
 	"context"
-	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -86,72 +83,17 @@ func (s BatchStats) Utilization() float64 {
 // running abort at the next synthesis phase boundary (the BIST branch
 // and bound polls the context). A panic inside one job is recovered and
 // degrades that single job to an error instead of killing the batch.
+//
+// SynthesizeAll is a thin wrapper over the package-default Synthesizer;
+// use an explicit handle (New) to share a cache or bound the lifetime.
 func SynthesizeAll(ctx context.Context, jobs []Job, opts BatchOptions) []BatchResult {
-	results, _ := SynthesizeAllStats(ctx, jobs, opts)
-	return results
+	return defaultSynthesizer.SynthesizeAll(ctx, jobs, opts)
 }
 
 // SynthesizeAllStats is SynthesizeAll plus pool-utilization accounting
 // for the run.
 func SynthesizeAllStats(ctx context.Context, jobs []Job, opts BatchOptions) ([]BatchResult, BatchStats) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	results := make([]BatchResult, len(jobs))
-	if len(jobs) == 0 {
-		return results, BatchStats{}
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-
-	start := time.Now()
-	var busy atomic.Int64
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				job := jobs[i]
-				if job.Config.Cache == nil {
-					job.Config.Cache = opts.Cache
-				}
-				results[i] = RunJob(ctx, job)
-				busy.Add(int64(results[i].Duration))
-			}
-		}()
-	}
-	// Feed job indices until done or cancelled; on cancellation the
-	// remaining unstarted jobs fail promptly with ctx.Err().
-	cancelled := -1
-feed:
-	for i := range jobs {
-		select {
-		case <-ctx.Done():
-			cancelled = i
-			break feed
-		case idx <- i:
-		}
-	}
-	close(idx)
-	wg.Wait()
-	if cancelled >= 0 {
-		for i := cancelled; i < len(jobs); i++ {
-			results[i] = BatchResult{Name: jobName(jobs[i]), Err: ctx.Err()}
-		}
-	}
-	expBatchJobs.Add(int64(len(jobs)))
-	return results, BatchStats{
-		Workers: workers,
-		Wall:    time.Since(start),
-		Busy:    time.Duration(busy.Load()),
-	}
+	return defaultSynthesizer.SynthesizeAllStats(ctx, jobs, opts)
 }
 
 // Pool is a persistent, process-wide synthesis worker pool: a bounded
@@ -163,15 +105,18 @@ feed:
 type Pool struct {
 	sem     chan struct{}
 	workers int
+	synth   *Synthesizer // handle whose scratch arenas Do's jobs reuse
 }
 
 // NewPool creates a pool with the given number of worker slots
-// (0 or negative = runtime.GOMAXPROCS(0)).
+// (0 or negative = runtime.GOMAXPROCS(0)). The pool runs jobs through
+// the package-default Synthesizer; use Synthesizer.NewPool to bind one
+// to an explicit handle.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{sem: make(chan struct{}, workers), workers: workers}
+	return &Pool{sem: make(chan struct{}, workers), workers: workers, synth: defaultSynthesizer}
 }
 
 // Workers returns the pool's slot count.
@@ -203,7 +148,7 @@ func (p *Pool) Do(ctx context.Context, j Job) BatchResult {
 		return BatchResult{Name: jobName(j), Err: err}
 	}
 	defer p.Release()
-	return RunJob(ctx, j)
+	return p.synth.runJob(ctx, j)
 }
 
 func jobName(j Job) string {
@@ -227,27 +172,11 @@ func jobName(j Job) string {
 // subscriber (e.g. an SSE client of bistpathd) would wait forever for a
 // conclusion that cannot come, because the panic unwound past the
 // pipeline before any terminal phase event fired.
-func RunJob(ctx context.Context, j Job) (br BatchResult) {
-	br.Name = jobName(j)
-	start := time.Now()
-	defer func() {
-		br.Duration = time.Since(start)
-		if r := recover(); r != nil {
-			br.Result = nil
-			br.Err = fmt.Errorf("bistpath: job %q panicked: %v", br.Name, r)
-			notifyPanicRecovered(j.Config.Observer, br.Name)
-		}
-	}()
-	if err := ctx.Err(); err != nil {
-		br.Err = err
-		return br
-	}
-	if j.DFG == nil {
-		br.Err = ErrNoDFG
-		return br
-	}
-	br.Result, br.Err = j.DFG.SynthesizeCtx(ctx, j.Modules, j.Config)
-	return br
+//
+// RunJob executes on the package-default Synthesizer, so repeated jobs
+// (a daemon's steady state) reuse its scratch arenas.
+func RunJob(ctx context.Context, j Job) BatchResult {
+	return defaultSynthesizer.runJob(ctx, j)
 }
 
 // notifyPanicRecovered delivers the terminal PanicRecovered event to an

@@ -215,8 +215,9 @@ func (r *Result) StyleSummary() string {
 // synthesize is the internal-type entry point shared by the public
 // wrappers, cmd tools and benchmarks. It normalizes the config and
 // routes through Config.Cache when one is attached; the actual pipeline
-// lives in synthesizeCore.
-func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+// lives in synthesizeCore. sc, when non-nil, loans the run reusable
+// scratch memory (a Synthesizer threads one through every run).
+func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, sc *synthScratch) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -224,9 +225,9 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 		cfg.Width = 8
 	}
 	if cfg.Cache != nil {
-		return cfg.Cache.synthesize(ctx, g, mb, cfg)
+		return cfg.Cache.synthesize(ctx, g, mb, cfg, sc)
 	}
-	return synthesizeCore(ctx, g, mb, cfg, nil)
+	return synthesizeCore(ctx, g, mb, cfg, nil, sc)
 }
 
 // synthesizeCore runs the synthesis pipeline. The context is polled at
@@ -242,7 +243,11 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 // stale entry fails with errStaleCacheEntry instead of producing a
 // wrong Result — and the Stats of the populating run are replayed
 // verbatim to keep Result.JSON() byte-identical.
-func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, cached *cachedSynthesis) (res *Result, retErr error) {
+//
+// A non-nil sc threads reusable scratch memory into the register binder
+// and the BIST search; a nil sc simply allocates fresh state (the
+// Results are identical either way).
+func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, cached *cachedSynthesis, sc *synthScratch) (res *Result, retErr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -300,6 +305,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 			AvoidCBILBO:      cfg.AvoidCBILBO,
 			InterconnectTies: cfg.WeightedInterconnect,
 			Metrics:          &rm,
+		}
+		if sc != nil {
+			ropts.Scratch = sc.bind
 		}
 		var err error
 		switch {
@@ -363,6 +371,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 			MinimizeSessions: cfg.MinimizeSessions,
 			Workers:          cfg.Workers,
 			Metrics:          &bm,
+		}
+		if sc != nil {
+			bopts.Scratch = sc.bist
 		}
 		if obs != nil {
 			bopts.Progress = func(nodes int64) {

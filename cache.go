@@ -168,7 +168,7 @@ type flightOutcome struct {
 // synthesize is the cache-enabled synthesis path: memory lookup, then a
 // coalesced flight that probes the disk layer before paying for a full
 // run. Callers always receive a private copy of the master Result.
-func (c *Cache) synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+func (c *Cache) synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, sc *synthScratch) (*Result, error) {
 	key := cacheKey(g, mb, cfg)
 	for {
 		if v, ok := c.mem.Get(key); ok {
@@ -177,7 +177,7 @@ func (c *Cache) synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Bind
 			return c.serve(v.(*Result), cfg, g.Name, true), nil
 		}
 		v, err, shared := c.flight.Do(ctx, key, func() (any, error) {
-			return c.fill(ctx, g, mb, cfg, key)
+			return c.fill(ctx, g, mb, cfg, key, sc)
 		})
 		if err != nil {
 			if shared && isContextError(err) && ctx.Err() == nil {
@@ -201,11 +201,11 @@ func (c *Cache) synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Bind
 // fill runs as a flight leader: disk probe first, full synthesis
 // otherwise. Successful results are published to the in-memory layer
 // (and, for full runs, the disk layer) before the flight resolves.
-func (c *Cache) fill(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, key cache.Key) (any, error) {
+func (c *Cache) fill(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config, key cache.Key, sc *synthScratch) (any, error) {
 	if c.disk != nil {
 		if payload, ok := c.disk.Get(key); ok {
 			if cached, err := decodeCacheEntry(payload, cfg.Width); err == nil {
-				res, err := synthesizeCore(ctx, g, mb, cfg, cached)
+				res, err := synthesizeCore(ctx, g, mb, cfg, cached, sc)
 				switch {
 				case err == nil:
 					c.diskHits.Add(1)
@@ -223,7 +223,7 @@ func (c *Cache) fill(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, c
 	}
 	c.misses.Add(1)
 	expCacheMisses.Add(1)
-	res, err := synthesizeCore(ctx, g, mb, cfg, nil)
+	res, err := synthesizeCore(ctx, g, mb, cfg, nil, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -120,21 +120,12 @@ func (d *DFG) AutoScheduleForce(latency int) error {
 // DFG, module map and Config produce byte-identical ReportText for any
 // Config.Workers value, with all timing-dependent measurements isolated
 // in Result.Stats.
+//
+// SynthesizeCtx executes on the package-default Synthesizer, reusing
+// its scratch arenas across calls; create an explicit handle with New
+// to control the arenas' lifetime or share a default Config and Cache.
 func (d *DFG) SynthesizeCtx(ctx context.Context, opToModule map[string]string, cfg Config) (*Result, error) {
-	// Catch unscheduled graphs before module binding so both the explicit
-	// and automatic paths fail with ErrUnscheduled rather than a
-	// binder-specific message.
-	for _, o := range d.g.Ops() {
-		if o.Step == 0 {
-			return nil, phaseError(d.g.Name, PhaseValidate,
-				fmt.Errorf("%w: op %q", ErrUnscheduled, o.Name))
-		}
-	}
-	mb, err := d.moduleBinding(opToModule)
-	if err != nil {
-		return nil, phaseError(d.g.Name, PhaseValidate, err)
-	}
-	return synthesize(ctx, d.g, mb, cfg)
+	return defaultSynthesizer.synthesizeDFG(ctx, d, opToModule, cfg)
 }
 
 // moduleBinding resolves an explicit op→module map (nil = automatic

@@ -58,56 +58,88 @@ func (e Embedding) String() string {
 // share a single generator. When allowPadHeads is false, only registers
 // may act as heads.
 func Embeddings(dp *datapath.Datapath, module string, allowPadHeads bool) []Embedding {
+	return AppendEmbeddings(nil, dp, module, allowPadHeads)
+}
+
+// AppendEmbeddings is Embeddings appending into dst, reusing its
+// capacity — the allocation-free form the optimizer's scratch arenas
+// enumerate through. The appended run is in the same canonical
+// (HeadL, HeadR, Tail) order Embeddings returns.
+func AppendEmbeddings(dst []Embedding, dp *datapath.Datapath, module string, allowPadHeads bool) []Embedding {
 	m := dp.Module(module)
 	if m == nil {
-		return nil
+		return dst
 	}
+	start := len(dst)
 	diagonal := dp.ModuleDiagonal(module)
-	heads := func(srcs []string) []string {
-		var out []string
-		for _, s := range srcs {
-			if interconnect.IsPad(s) && !allowPadHeads {
+	skip := func(s string) bool { return interconnect.IsPad(s) && !allowPadHeads }
+	if len(m.Right) == 0 { // unary module
+		for _, l := range m.Left {
+			if skip(l) {
 				continue
 			}
-			out = append(out, s)
-		}
-		return out
-	}
-	ls := heads(m.Left)
-	rs := heads(m.Right)
-	var out []Embedding
-	if len(m.Right) == 0 { // unary module
-		for _, l := range ls {
 			for _, t := range m.Dests {
-				out = append(out, Embedding{Module: module, HeadL: l, Tail: t})
+				dst = append(dst, Embedding{Module: module, HeadL: l, Tail: t})
 			}
 		}
 	} else {
-		for _, l := range ls {
-			for _, r := range rs {
-				if l == r && !diagonal {
+		for _, l := range m.Left {
+			if skip(l) {
+				continue
+			}
+			for _, r := range m.Right {
+				if skip(r) || (l == r && !diagonal) {
 					continue
 				}
 				for _, t := range m.Dests {
-					out = append(out, Embedding{Module: module, HeadL: l, HeadR: r, Tail: t})
+					dst = append(dst, Embedding{Module: module, HeadL: l, HeadR: r, Tail: t})
 				}
 			}
 		}
 	}
 	// Canonical order on both arities: the optimizer's deterministic
 	// tie-break is defined over this order, so it must be a pure
-	// function of the data path, never of construction order.
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	// function of the data path, never of construction order. Left,
+	// Right and Dests are sorted by construction, so the nested loops
+	// emit that order directly; the sort below only fires defensively
+	// for a hand-built data path with unsorted source lists.
+	if !embeddingsOrdered(dst[start:]) {
+		sort.Slice(dst[start:], func(i, j int) bool {
+			a, b := dst[start+i], dst[start+j]
+			if a.HeadL != b.HeadL {
+				return a.HeadL < b.HeadL
+			}
+			if a.HeadR != b.HeadR {
+				return a.HeadR < b.HeadR
+			}
+			return a.Tail < b.Tail
+		})
+	}
+	return dst
+}
+
+// embeddingsOrdered reports whether the run is already in canonical
+// (HeadL, HeadR, Tail) order.
+func embeddingsOrdered(es []Embedding) bool {
+	for i := 1; i < len(es); i++ {
+		a, b := es[i-1], es[i]
 		if a.HeadL != b.HeadL {
-			return a.HeadL < b.HeadL
+			if a.HeadL > b.HeadL {
+				return false
+			}
+			continue
 		}
 		if a.HeadR != b.HeadR {
-			return a.HeadR < b.HeadR
+			if a.HeadR > b.HeadR {
+				return false
+			}
+			continue
 		}
-		return a.Tail < b.Tail
-	})
-	return out
+		if a.Tail > b.Tail {
+			return false
+		}
+	}
+	return true
 }
 
 // ForcedCBILBOByEnumeration reports whether every embedding of the module

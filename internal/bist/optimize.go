@@ -5,13 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 
 	"bistpath/internal/area"
 	"bistpath/internal/datapath"
-	"bistpath/internal/interconnect"
 )
 
 // ErrNoEmbedding is returned (wrapped with the module name) when some
@@ -75,6 +73,11 @@ type Options struct {
 	// be invoked concurrently from several worker goroutines and must
 	// not block.
 	Progress func(nodes int64)
+	// Scratch, when non-nil, supplies the reusable search arenas and
+	// enumeration buffers; successive Optimize calls sharing one Scratch
+	// run essentially allocation-free. One Optimize call at a time per
+	// Scratch.
+	Scratch *Scratch
 }
 
 // Metrics reports how hard one OptimizeCtx search worked. Every field is
@@ -120,42 +123,110 @@ func packBound(cost, branch int) int64 { return int64(cost)<<32 | int64(branch) 
 func unpackBound(p int64) (cost, branch int) { return int(p >> 32), int(p & 0xffffffff) }
 
 // search holds the state shared by all branch-and-bound workers. The only
-// mutable shared fields are atomics; every worker keeps its own roleState,
-// partial assignment and incumbent so no search state needs locking.
+// mutable shared fields are atomics; every worker keeps its own arena with
+// duty counters, partial assignment and incumbent so no search state needs
+// locking.
 type search struct {
 	ctx       context.Context
 	opts      Options
 	mods      []modEmb
+	refs      [][]embRef   // compact embeddings, parallel to mods
 	bound     atomic.Int64 // packed (cost, branch) of the best complete solution
 	nodes     atomic.Int64 // nodes expanded, across all workers
 	inexact   atomic.Bool  // node budget exhausted somewhere
 	cancelled atomic.Bool  // ctx.Done observed somewhere
+	// Style upgrade costs, pre-resolved from the area model so the duty
+	// counters translate to cost without a Model call per touch.
+	exTPG, exSA, exBILBO, exCB int
 }
 
 // solution is a worker-local incumbent. branch is the index of the
 // first-level embedding choice it descends from; merging by ascending
 // branch (after cost and, optionally, session count) reproduces the
-// sequential depth-first tie-break exactly.
+// sequential depth-first tie-break exactly. The assignment itself lives
+// in the owning worker's arena (bestCur).
 type solution struct {
 	ok       bool
 	cost     int
 	sessions int
 	branch   int
-	embs     map[string]Embedding
 }
 
 // worker explores whole first-level subtrees. Each subtree is owned by
 // exactly one worker, so its incumbent update below is single-threaded.
 type worker struct {
 	sh     *search
-	st     *roleState
-	cur    map[string]Embedding
+	a      *searchArena
+	cost   int
 	branch int
 	best   solution
 	// Effort counters stay worker-local (plain increments on the search
 	// hot path, no shared-cache traffic) and are summed after the join.
 	prunes     int64
 	incumbents int64
+}
+
+// styleExtra returns the upgrade cost of register r under its current
+// duty counters (the counter form of roles.style).
+func (w *worker) styleExtra(r int32) int {
+	a := w.a
+	switch {
+	case a.cb[r] > 0:
+		return w.sh.exCB
+	case a.tpg[r] > 0 && a.sa[r] > 0:
+		return w.sh.exBILBO
+	case a.tpg[r] > 0:
+		return w.sh.exTPG
+	case a.sa[r] > 0:
+		return w.sh.exSA
+	}
+	return 0
+}
+
+// bumpHead adds d to head register h's TPG duty (and CBILBO duty when it
+// is also the tail t), folding the register's cost change into w.cost.
+func (w *worker) bumpHead(h, t, d int32) {
+	before := w.styleExtra(h)
+	w.a.tpg[h] += d
+	if h == t {
+		w.a.cb[h] += d
+	}
+	w.cost += w.styleExtra(h) - before
+}
+
+func (w *worker) apply(e embRef) {
+	if e.l >= 0 {
+		w.bumpHead(e.l, e.t, 1)
+	}
+	if e.r >= 0 {
+		w.bumpHead(e.r, e.t, 1)
+	}
+	before := w.styleExtra(e.t)
+	w.a.sa[e.t]++
+	w.cost += w.styleExtra(e.t) - before
+}
+
+func (w *worker) undo(e embRef) {
+	if e.l >= 0 {
+		w.bumpHead(e.l, e.t, -1)
+	}
+	if e.r >= 0 {
+		w.bumpHead(e.r, e.t, -1)
+	}
+	before := w.styleExtra(e.t)
+	w.a.sa[e.t]--
+	w.cost += w.styleExtra(e.t) - before
+}
+
+// curEmbeddings materializes the worker's current assignment as the
+// embedding map the session scheduler consumes (MinimizeSessions leaves
+// only).
+func (w *worker) curEmbeddings() map[string]Embedding {
+	out := make(map[string]Embedding, len(w.sh.mods))
+	for i, m := range w.sh.mods {
+		out[m.name] = m.embs[w.a.cur[i]]
+	}
+	return out
 }
 
 func (w *worker) dfs(i int) {
@@ -178,7 +249,7 @@ func (w *worker) dfs(i int) {
 	if sh.cancelled.Load() || sh.inexact.Load() {
 		return
 	}
-	cost := w.st.cost
+	cost := w.cost
 	if packed := sh.bound.Load(); packed != noBound {
 		bc, bb := unpackBound(packed)
 		if cost > bc {
@@ -197,13 +268,11 @@ func (w *worker) dfs(i int) {
 		w.leaf(cost)
 		return
 	}
-	m := sh.mods[i]
-	for _, e := range m.embs {
-		w.cur[m.name] = e
-		w.st.apply(e)
+	for j, e := range sh.refs[i] {
+		w.a.cur[i] = int32(j)
+		w.apply(e)
 		w.dfs(i + 1)
-		w.st.undo(e)
-		delete(w.cur, m.name)
+		w.undo(e)
 	}
 }
 
@@ -215,7 +284,7 @@ func (w *worker) leaf(cost int) {
 		if w.best.ok && cost > w.best.cost {
 			return
 		}
-		s := sessionsOfEmbeddings(w.cur)
+		s := sessionsOfEmbeddings(w.curEmbeddings())
 		if w.best.ok && cost == w.best.cost && s >= w.best.sessions {
 			return
 		}
@@ -229,11 +298,8 @@ func (w *worker) leaf(cost int) {
 }
 
 func (w *worker) take(cost, sessions int) {
-	embs := make(map[string]Embedding, len(w.cur))
-	for k, v := range w.cur {
-		embs[k] = v
-	}
-	w.best = solution{ok: true, cost: cost, sessions: sessions, branch: w.branch, embs: embs}
+	copy(w.a.bestCur, w.a.cur)
+	w.best = solution{ok: true, cost: cost, sessions: sessions, branch: w.branch}
 	w.incumbents++
 	packed := packBound(cost, w.branch)
 	for {
@@ -247,19 +313,18 @@ func (w *worker) take(cost, sessions int) {
 // runBranches claims first-level branches off the shared counter and runs
 // the canonical depth-first search under each.
 func (w *worker) runBranches(next *atomic.Int64) {
-	first := w.sh.mods[0]
+	first := w.sh.refs[0]
 	for {
 		b := int(next.Add(1) - 1)
-		if b >= len(first.embs) || w.sh.cancelled.Load() {
+		if b >= len(first) || w.sh.cancelled.Load() {
 			return
 		}
-		e := first.embs[b]
+		e := first[b]
 		w.branch = b
-		w.cur[first.name] = e
-		w.st.apply(e)
+		w.a.cur[0] = int32(b)
+		w.apply(e)
 		w.dfs(1)
-		w.st.undo(e)
-		delete(w.cur, first.name)
+		w.undo(e)
 	}
 }
 
@@ -305,38 +370,77 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	if opts.NodeBudget == 0 {
 		opts.NodeBudget = 2_000_000
 	}
-	var mods []modEmb
+	sc := opts.Scratch
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	// Enumerate embeddings into the scratch's per-position slices.
+	for len(sc.embStore) < len(dp.Modules) {
+		sc.embStore = append(sc.embStore, nil)
+	}
+	mods := sc.mods[:0]
 	var embTotal int64
-	for _, m := range dp.Modules {
-		embs := Embeddings(dp, m.Name, opts.AllowPadHeads)
+	for i, m := range dp.Modules {
+		embs := AppendEmbeddings(sc.embStore[i][:0], dp, m.Name, opts.AllowPadHeads)
+		sc.embStore[i] = embs
 		if len(embs) == 0 {
 			return nil, fmt.Errorf("bist: module %s has %w (no register I-paths)", m.Name, ErrNoEmbedding)
 		}
 		embTotal += int64(len(embs))
 		mods = append(mods, modEmb{m.Name, embs})
 	}
-	// Most-constrained modules first makes pruning effective.
-	sort.Slice(mods, func(i, j int) bool {
-		if len(mods[i].embs) != len(mods[j].embs) {
-			return len(mods[i].embs) < len(mods[j].embs)
+	sc.mods = mods
+	// Most-constrained modules first makes pruning effective. (len, name)
+	// is a total order, so a stable insertion sort equals sort.Slice here.
+	for i := 1; i < len(mods); i++ {
+		m := mods[i]
+		j := i - 1
+		for j >= 0 && (len(m.embs) < len(mods[j].embs) ||
+			(len(m.embs) == len(mods[j].embs) && m.name < mods[j].name)) {
+			mods[j+1] = mods[j]
+			j--
 		}
-		return mods[i].name < mods[j].name
-	})
-	for i := range mods {
-		mods[i].embs = append([]Embedding(nil), mods[i].embs...)
+		mods[j+1] = m
 	}
 
 	// Pre-sort each module's embeddings once by standalone upgrade cost
 	// (cheap embeddings first makes the first complete solution strong).
-	// Embeddings() returns a sorted slice and SliceStable keeps that
-	// order among equal costs, so the search order — and therefore the
+	// Embeddings enumerate in canonical order and the insertion sort is
+	// stable among equal costs, so the search order — and therefore the
 	// deterministic tie-break — is a pure function of the data path.
 	for _, m := range mods {
-		standalone := func(e Embedding) int {
-			one := map[string]Embedding{m.name: e}
-			return extraArea(opts.Model, stylesOf(one))
+		costs := sc.costs
+		if cap(costs) < len(m.embs) {
+			costs = make([]int, len(m.embs))
+			sc.costs = costs
 		}
-		sort.SliceStable(m.embs, func(a, b int) bool { return standalone(m.embs[a]) < standalone(m.embs[b]) })
+		costs = costs[:len(m.embs)]
+		for j, e := range m.embs {
+			costs[j] = standaloneCost(opts.Model, e)
+		}
+		for i := 1; i < len(costs); i++ {
+			c, e := costs[i], m.embs[i]
+			j := i - 1
+			for j >= 0 && costs[j] > c {
+				costs[j+1], m.embs[j+1] = costs[j], m.embs[j]
+				j--
+			}
+			costs[j+1], m.embs[j+1] = c, e
+		}
+	}
+
+	// Intern the registers and build the compact search refs.
+	sc.resetIntern()
+	for len(sc.refStore) < len(mods) {
+		sc.refStore = append(sc.refStore, nil)
+	}
+	refs := sc.refStore[:len(mods)]
+	for i, m := range mods {
+		rr := refs[i][:0]
+		for _, e := range m.embs {
+			rr = append(rr, embRef{sc.internReg(e.HeadL), sc.internReg(e.HeadR), sc.internReg(e.Tail)})
+		}
+		refs[i] = rr
 	}
 
 	best := make(map[string]Embedding, len(mods))
@@ -349,7 +453,13 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	if len(mods) == 0 {
 		bestCost = 0
 	} else {
-		sh := &search{ctx: ctx, opts: opts, mods: mods}
+		sh := &search{
+			ctx: ctx, opts: opts, mods: mods, refs: refs,
+			exTPG:   opts.Model.StyleExtra(area.TPG),
+			exSA:    opts.Model.StyleExtra(area.SA),
+			exBILBO: opts.Model.StyleExtra(area.BILBO),
+			exCB:    opts.Model.StyleExtra(area.CBILBO),
+		}
 		sh.bound.Store(noBound)
 
 		nw := opts.Workers
@@ -359,8 +469,11 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		if nw > len(mods[0].embs) {
 			nw = len(mods[0].embs)
 		}
+		nregs := len(sc.regNames)
 		newWorker := func() *worker {
-			return &worker{sh: sh, st: newRoleState(opts.Model), cur: make(map[string]Embedding, len(mods))}
+			a := sc.getArena()
+			a.size(nregs, len(mods))
+			return &worker{sh: sh, a: a}
 		}
 		var next atomic.Int64
 		locals := make([]*worker, nw)
@@ -380,7 +493,13 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 			}
 			wg.Wait()
 		}
+		returnArenas := func() {
+			for _, w := range locals {
+				sc.putArena(w.a)
+			}
+		}
 		if sh.cancelled.Load() {
+			returnArenas()
 			return nil, ctx.Err()
 		}
 		if opts.Metrics != nil {
@@ -394,15 +513,20 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		exact = !sh.inexact.Load()
 
 		var final solution
+		var finalCur []int32
 		for _, w := range locals {
 			if w.best.better(final, opts.MinimizeSessions) {
 				final = w.best
+				finalCur = w.a.bestCur
 			}
 		}
 		if final.ok {
-			best = final.embs
+			for i, m := range mods {
+				best[m.name] = m.embs[finalCur[i]]
+			}
 			bestCost = final.cost
 		}
+		returnArenas()
 	}
 
 	if bestCost < 0 || !exact {
@@ -533,78 +657,4 @@ func containsStr(list []string, x string) bool {
 		}
 	}
 	return false
-}
-
-// roleState tracks register duties and the total upgrade cost
-// incrementally as embeddings are applied and undone during the branch
-// and bound — O(1) per affected register instead of recomputing every
-// style from scratch at every node. Each worker owns one instance; the
-// type itself is not safe for concurrent use.
-type roleState struct {
-	model  area.Model
-	tpgCnt map[string]int
-	saCnt  map[string]int
-	cbCnt  map[string]int
-	cost   int
-}
-
-func newRoleState(m area.Model) *roleState {
-	return &roleState{
-		model:  m,
-		tpgCnt: make(map[string]int),
-		saCnt:  make(map[string]int),
-		cbCnt:  make(map[string]int),
-	}
-}
-
-func (s *roleState) styleExtra(reg string) int {
-	switch {
-	case s.cbCnt[reg] > 0:
-		return s.model.StyleExtra(area.CBILBO)
-	case s.tpgCnt[reg] > 0 && s.saCnt[reg] > 0:
-		return s.model.StyleExtra(area.BILBO)
-	case s.tpgCnt[reg] > 0:
-		return s.model.StyleExtra(area.TPG)
-	case s.saCnt[reg] > 0:
-		return s.model.StyleExtra(area.SA)
-	}
-	return 0
-}
-
-func (s *roleState) touch(reg string, f func()) {
-	before := s.styleExtra(reg)
-	f()
-	s.cost += s.styleExtra(reg) - before
-}
-
-func (s *roleState) apply(e Embedding) {
-	for _, h := range []string{e.HeadL, e.HeadR} {
-		if h == "" || interconnect.IsPad(h) {
-			continue
-		}
-		h := h
-		s.touch(h, func() {
-			s.tpgCnt[h]++
-			if h == e.Tail {
-				s.cbCnt[h]++
-			}
-		})
-	}
-	s.touch(e.Tail, func() { s.saCnt[e.Tail]++ })
-}
-
-func (s *roleState) undo(e Embedding) {
-	for _, h := range []string{e.HeadL, e.HeadR} {
-		if h == "" || interconnect.IsPad(h) {
-			continue
-		}
-		h := h
-		s.touch(h, func() {
-			s.tpgCnt[h]--
-			if h == e.Tail {
-				s.cbCnt[h]--
-			}
-		})
-	}
-	s.touch(e.Tail, func() { s.saCnt[e.Tail]-- })
 }

@@ -1,0 +1,583 @@
+package regassign
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"bistpath/internal/bitset"
+	"bistpath/internal/dfg"
+	"bistpath/internal/modassign"
+)
+
+// binderState is the binder's indexed working set: every variable,
+// module and interconnect endpoint is interned to a small integer once
+// per Bind call, and every relation the coloring loop queries — the
+// conflict graph, module input/output incidence, per-instance operand
+// sets, register contents and register source/destination footprints —
+// is a preallocated bitset row over those integers. The inner loops
+// (candidate filtering, sharing degrees, Lemma-2 trials, interconnect
+// scoring) then run without allocating, where the previous map-of-maps
+// representation allocated on every query.
+//
+// The decision semantics are exactly those of the paper binder's
+// original string/map implementation; regassign_test.go and the
+// package-level golden tests pin the outputs byte-for-byte.
+//
+// A binderState is single-threaded. Reusing one across Bind calls (via
+// Scratch) recycles the backing arrays; init re-dimensions everything
+// for the new graph.
+type binderState struct {
+	names []string // var id -> name (lexicographic, so id order = name order)
+	varID map[string]int32
+
+	conf bitset.Matrix // var id -> conflicting var ids
+
+	modNames  []string      // sorted module names (Sharing.Modules order)
+	modIn     bitset.Matrix // module -> input variable ids (alloc vars only)
+	modOut    bitset.Matrix // module -> output variable ids
+	instRow   bitset.Matrix // flattened per-instance operand sets
+	instStart []int32       // module m's instances are rows [instStart[m], instStart[m+1])
+
+	// Interconnect endpoints: sources are module indices or, for primary
+	// inputs, nm+varID (each input pad is its own source); destinations
+	// are module indices plus nm = "out".
+	srcOf   []int32       // var id -> source id
+	dstBits bitset.Matrix // var id -> destination ids
+
+	// Registers, growing as the coloring opens them. Row capacity is
+	// len(names) registers — the worst case of one variable per register.
+	regVars [][]int32     // register -> var ids in assignment order
+	regBits bitset.Matrix // register -> var ids
+	regSrc  bitset.Matrix // register -> source ids
+	regDst  bitset.Matrix // register -> destination ids
+	numRegs int
+
+	rank []int32 // PVES elimination priority per var id
+	mcs  []int32 // max clique size per var id
+	sdv  []int32 // SD(v) per var id (Definition 4)
+
+	// Reusable buffers for the per-variable decision.
+	scheme   []int32
+	alive    bitset.Set
+	nbr      bitset.Set
+	cands    []int
+	ranked   []int
+	div      []int
+	divTmp   []int
+	divSeen  bitset.Set
+	candBits bitset.Set
+	ordered  []int32
+}
+
+// Scratch owns a reusable binderState. Passing one Scratch to
+// successive Bind calls (Options.Scratch) recycles the bitset graphs
+// and interning tables across runs — the zero-allocation discipline the
+// batch pool and the daemon rely on. A Scratch is single-threaded; use
+// one per worker.
+type Scratch struct {
+	bs binderState
+}
+
+// NewScratch returns an empty reusable binder scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// init re-dimensions the state for one graph + module binding,
+// recycling backing arrays where capacities allow.
+func (bs *binderState) init(g *dfg.Graph, mb *modassign.Binding) error {
+	names := g.AllocVars()
+	nv := len(names)
+	bs.names = names
+	if bs.varID == nil {
+		bs.varID = make(map[string]int32, nv)
+	} else {
+		clear(bs.varID)
+	}
+	for i, n := range names {
+		bs.varID[n] = int32(i)
+	}
+
+	// Conflict graph straight from the lifetimes (the same relation
+	// dfg.Conflicts materializes as nested maps).
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return err
+	}
+	bs.conf.Grow(nv, nv)
+	for i := 0; i < nv; i++ {
+		for j := i + 1; j < nv; j++ {
+			if lts[names[i]].Overlaps(lts[names[j]]) {
+				bs.conf.Row(i).Set(j)
+				bs.conf.Row(j).Set(i)
+			}
+		}
+	}
+
+	// Modules in sorted-name order, matching Sharing.Modules.
+	bs.modNames = bs.modNames[:0]
+	for _, m := range mb.Modules {
+		bs.modNames = append(bs.modNames, m.Name)
+	}
+	sort.Strings(bs.modNames)
+	nm := len(bs.modNames)
+	bs.modIn.Grow(nm, nv)
+	bs.modOut.Grow(nm, nv)
+	totalInst := 0
+	for _, m := range mb.Modules {
+		totalInst += len(m.Ops)
+	}
+	bs.instRow.Grow(totalInst, nv)
+	bs.instStart = growInt32(bs.instStart, nm+1)
+	row := int32(0)
+	for mi, name := range bs.modNames {
+		bs.instStart[mi] = row
+		m := mb.Module(name)
+		for _, opName := range m.Ops {
+			op := g.Op(opName)
+			for _, a := range op.Args {
+				if id, ok := bs.varID[a]; ok {
+					bs.modIn.Row(mi).Set(int(id))
+					bs.instRow.Row(int(row)).Set(int(id))
+				}
+				// Port-fed operands have no register bit: they can never
+				// be register-bound, exactly as in the map formulation.
+			}
+			if id, ok := bs.varID[op.Result]; ok {
+				bs.modOut.Row(mi).Set(int(id))
+			}
+			row++
+		}
+	}
+	bs.instStart[nm] = row
+
+	// Interconnect endpoint interning (the Fig. 6 estimator).
+	bs.srcOf = growInt32(bs.srcOf, nv)
+	bs.dstBits.Grow(nv, nm+1)
+	for i, n := range names {
+		v := g.Var(n)
+		if v.IsInput {
+			bs.srcOf[i] = int32(nm + i) // each input pad is its own source
+		} else {
+			bs.srcOf[i] = int32(bs.modIndex(mb.ModuleOf(v.Def).Name))
+		}
+		for _, u := range v.Uses {
+			bs.dstBits.Row(i).Set(bs.modIndex(mb.ModuleOf(u).Name))
+		}
+		if v.IsOutput {
+			bs.dstBits.Row(i).Set(nm)
+		}
+	}
+
+	// Register rows: at most one register per variable.
+	bs.regBits.Grow(nv, nv)
+	bs.regSrc.Grow(nv, nm+nv)
+	bs.regDst.Grow(nv, nm+1)
+	if cap(bs.regVars) < nv {
+		bs.regVars = make([][]int32, nv)
+	}
+	bs.regVars = bs.regVars[:nv]
+	for i := range bs.regVars {
+		bs.regVars[i] = bs.regVars[i][:0]
+	}
+	bs.numRegs = 0
+
+	bs.rank = growInt32(bs.rank, nv)
+	bs.mcs = growInt32(bs.mcs, nv)
+	bs.scheme = growInt32(bs.scheme, nv)
+	bs.sdv = growInt32(bs.sdv, nv)
+	for v := 0; v < nv; v++ {
+		bs.sdv[v] = int32(bs.sdVar(int32(v)))
+	}
+	bs.alive = growSet(bs.alive, nv)
+	bs.nbr = growSet(bs.nbr, nv)
+	bs.divSeen = growSet(bs.divSeen, nv)
+	bs.candBits = growSet(bs.candBits, nv)
+	return nil
+}
+
+func growSet(s bitset.Set, n int) bitset.Set {
+	w := bitset.Words(n)
+	if cap(s) < w {
+		return bitset.Make(n)
+	}
+	s = s[:w]
+	s.Reset()
+	return s
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (bs *binderState) modIndex(name string) int {
+	// Module counts are small; binary search on the sorted names.
+	lo, hi := 0, len(bs.modNames)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bs.modNames[mid] < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// instances returns the instance-operand rows of module mi.
+func (bs *binderState) instances(mi int) (lo, hi int32) {
+	return bs.instStart[mi], bs.instStart[mi+1]
+}
+
+// --- sharing degrees (Definitions 4 and 5) over bits ---
+
+func (bs *binderState) sdVar(v int32) int {
+	sd := 0
+	for mi := range bs.modNames {
+		if bs.modIn.Row(mi).Has(int(v)) {
+			sd++
+		}
+		if bs.modOut.Row(mi).Has(int(v)) {
+			sd++
+		}
+	}
+	return sd
+}
+
+func (bs *binderState) sdReg(r int) int {
+	sd := 0
+	rb := bs.regBits.Row(r)
+	for mi := range bs.modNames {
+		if rb.Intersects(bs.modIn.Row(mi)) {
+			sd++
+		}
+		if rb.Intersects(bs.modOut.Row(mi)) {
+			sd++
+		}
+	}
+	return sd
+}
+
+// sdRegWith returns SD(R, v): the register's sharing degree with v
+// hypothetically added.
+func (bs *binderState) sdRegWith(r int, v int32) int {
+	sd := 0
+	rb := bs.regBits.Row(r)
+	for mi := range bs.modNames {
+		if rb.Intersects(bs.modIn.Row(mi)) || bs.modIn.Row(mi).Has(int(v)) {
+			sd++
+		}
+		if rb.Intersects(bs.modOut.Row(mi)) || bs.modOut.Row(mi).Has(int(v)) {
+			sd++
+		}
+	}
+	return sd
+}
+
+func (bs *binderState) deltaSD(r int, v int32) int {
+	return bs.sdRegWith(r, v) - bs.sdReg(r)
+}
+
+// icScore is the Fig. 6 interconnect estimate: new sources plus new
+// destinations the register acquires by absorbing v.
+func (bs *binderState) icScore(r int, v int32) int {
+	cost := 0
+	if !bs.regSrc.Row(r).Has(int(bs.srcOf[v])) {
+		cost++
+	}
+	cost += bs.dstBits.Row(int(v)).AndNotCount(bs.regDst.Row(r))
+	return cost
+}
+
+// assign commits variable v to register r, maintaining every register
+// footprint incrementally.
+func (bs *binderState) assign(r int, v int32) {
+	bs.regVars[r] = append(bs.regVars[r], v)
+	bs.regBits.Row(r).Set(int(v))
+	bs.regSrc.Row(r).Set(int(bs.srcOf[v]))
+	bs.regDst.Row(r).Or(bs.dstBits.Row(int(v)))
+}
+
+// openRegister starts a fresh register holding v and returns its index.
+func (bs *binderState) openRegister(v int32) int {
+	r := bs.numRegs
+	bs.numRegs++
+	bs.assign(r, v)
+	return r
+}
+
+// --- Lemma 2 over bits ---
+
+// forcedCount returns how many modules the current (possibly trial)
+// register contents force into a CBILBO, mirroring forcedForModule's
+// map formulation exactly: case (i) needs one register holding all
+// output variables and an operand of every instance; case (ii) needs a
+// pair that partitions the outputs, each member hitting every instance.
+func (bs *binderState) forcedCount() int {
+	count := 0
+	for mi := range bs.modNames {
+		if bs.forcedModule(mi) {
+			count++
+		}
+	}
+	return count
+}
+
+func (bs *binderState) forcedModule(mi int) bool {
+	out := bs.modOut.Row(mi)
+	lo, hi := bs.instances(mi)
+	if !out.Any() || lo == hi {
+		return false
+	}
+	// Case (i): scan every register first, exactly as the original
+	// reports case (i) in preference to case (ii).
+	for r := 0; r < bs.numRegs; r++ {
+		rb := bs.regBits.Row(r)
+		if rb.Intersects(out) && rb.ContainsAll(out) && bs.hitsAllInstances(rb, lo, hi) {
+			return true
+		}
+	}
+	// Case (ii): a pair of registers, each holding a proper nonempty
+	// part of O_M and an operand of every instance, together covering O_M.
+	for i := 0; i < bs.numRegs; i++ {
+		ri := bs.regBits.Row(i)
+		if !ri.Intersects(out) || ri.ContainsAll(out) || !bs.hitsAllInstances(ri, lo, hi) {
+			continue
+		}
+		for j := i + 1; j < bs.numRegs; j++ {
+			rj := bs.regBits.Row(j)
+			if !rj.Intersects(out) || rj.ContainsAll(out) || !bs.hitsAllInstances(rj, lo, hi) {
+				continue
+			}
+			if bs.pairCoversOut(ri, rj, out) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (bs *binderState) hitsAllInstances(rb bitset.Set, lo, hi int32) bool {
+	for k := lo; k < hi; k++ {
+		if !rb.Intersects(bs.instRow.Row(int(k))) {
+			return false
+		}
+	}
+	return true
+}
+
+func (bs *binderState) pairCoversOut(a, b, out bitset.Set) bool {
+	for w := range out {
+		if out[w]&^(a[w]|b[w]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forcedCountWith evaluates forcedCount with v hypothetically added to
+// register r — the Lemma-2 trial of the coloring loop, previously a
+// full deep copy of the register sets per candidate.
+func (bs *binderState) forcedCountWith(r int, v int32) int {
+	rb := bs.regBits.Row(r)
+	rb.Set(int(v))
+	n := bs.forcedCount()
+	rb.Clear(int(v))
+	return n
+}
+
+// --- PVES (Section III.A.1) over bits ---
+
+// pves computes the perfect vertex elimination scheme minimizing rank
+// at every elimination step, ties broken by ascending id (= ascending
+// name, the same lexicographic tie-break as graph.Undirected.PVES).
+func (bs *binderState) pves() error {
+	nv := len(bs.names)
+	bs.alive.Reset()
+	for v := 0; v < nv; v++ {
+		bs.alive.Set(v)
+	}
+	for k := 0; k < nv; k++ {
+		best := int32(-1)
+		for v := 0; v < nv; v++ {
+			if !bs.alive.Has(v) || !bs.simplicial(v) {
+				continue
+			}
+			if best < 0 || bs.rank[v] < bs.rank[best] {
+				best = int32(v)
+			}
+		}
+		if best < 0 {
+			return fmt.Errorf("graph is not chordal: no simplicial vertex among %d remaining", nv-k)
+		}
+		bs.scheme[k] = best
+		bs.alive.Clear(int(best))
+	}
+	return nil
+}
+
+// simplicial reports whether v's alive neighborhood induces a clique.
+func (bs *binderState) simplicial(v int) bool {
+	n := bs.nbr
+	n.CopyFrom(bs.conf.Row(v))
+	for i, w := range bs.alive {
+		n[i] &= w
+	}
+	// Every alive neighbor u must be adjacent to all other alive
+	// neighbors: N \ adj(u) must contain only u itself.
+	for wi, w := range n {
+		for w != 0 {
+			u := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if n.AndNotCount(bs.conf.Row(u)) != 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// candidateRegs fills bs.cands with the indices of registers holding no
+// variable conflicting with v, in ascending register order.
+func (bs *binderState) candidateRegs(v int32) []int {
+	bs.cands = bs.cands[:0]
+	cv := bs.conf.Row(int(v))
+	for r := 0; r < bs.numRegs; r++ {
+		if !bs.regBits.Row(r).Intersects(cv) {
+			bs.cands = append(bs.cands, r)
+		}
+	}
+	return bs.cands
+}
+
+// insertionSortStable sorts xs stably in place by less over values —
+// the allocation-free replacement for sort.SliceStable on the binder's
+// short candidate lists.
+func insertionSortStable(xs []int, less func(a, b int) bool) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && less(x, xs[j]) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}
+
+// insertionSortStable32 is insertionSortStable over int32 ids.
+func insertionSortStable32(xs []int32, less func(a, b int32) bool) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && less(x, xs[j]) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}
+
+// diversion computes the Case 1 / Case 2 candidate registers for v
+// (Section III.A.2), ordered by (ΔSD desc, interconnect asc, SD(R,v)
+// desc, index) — the indexed equivalent of the map-based diversionSet
+// this binder previously used. On return bs.divSeen holds the
+// membership bits of the returned set, which chooseRegister uses to
+// filter the primary ranking without allocating.
+func (bs *binderState) diversion(cands []int, v int32, primary int) []int {
+	sdPrimary := bs.sdRegWith(primary, v)
+	bs.candBits.Reset()
+	for _, c := range cands {
+		bs.candBits.Set(c)
+	}
+	bs.divSeen.Reset()
+
+	// Case 1: v is an output variable of module Mj and some candidate
+	// register already holds an output variable of Mj.
+	for mi := range bs.modNames {
+		if !bs.modOut.Row(mi).Has(int(v)) {
+			continue
+		}
+		for r := 0; r < bs.numRegs; r++ {
+			if r == primary || !bs.candBits.Has(r) || !bs.regBits.Row(r).Intersects(bs.modOut.Row(mi)) {
+				continue
+			}
+			if bs.sdReg(r) > sdPrimary {
+				bs.divSeen.Set(r)
+			}
+		}
+	}
+	// Case 2: v is an input variable of Mj; because operators are binary
+	// the diversion applies only when two registers already hold input
+	// variables of Mj (the module's TPG pair already exists).
+	for mi := range bs.modNames {
+		if !bs.modIn.Row(mi).Has(int(v)) {
+			continue
+		}
+		touching := 0
+		for r := 0; r < bs.numRegs; r++ {
+			if bs.regBits.Row(r).Intersects(bs.modIn.Row(mi)) {
+				touching++
+			}
+		}
+		if touching < 2 {
+			continue
+		}
+		for r := 0; r < bs.numRegs; r++ {
+			if r == primary || !bs.candBits.Has(r) || !bs.regBits.Row(r).Intersects(bs.modIn.Row(mi)) {
+				continue
+			}
+			if bs.sdReg(r) > sdPrimary {
+				bs.divSeen.Set(r)
+			}
+		}
+	}
+	out := bs.div[:0]
+	for r := 0; r < bs.numRegs; r++ {
+		if bs.divSeen.Has(r) {
+			out = append(out, r)
+		}
+	}
+	bs.div = out
+	insertionSortStable(out, func(ia, ib int) bool {
+		da, db := bs.deltaSD(ia, v), bs.deltaSD(ib, v)
+		if da != db {
+			return da > db
+		}
+		ca, cb := bs.icScore(ia, v), bs.icScore(ib, v)
+		if ca != cb {
+			return ca < cb
+		}
+		sa, sb := bs.sdRegWith(ia, v), bs.sdRegWith(ib, v)
+		if sa != sb {
+			return sa > sb
+		}
+		return ia < ib
+	})
+	return out
+}
+
+// varNames materializes a register's variable names (trace path only).
+func (bs *binderState) varNames(r int) []string {
+	out := make([]string, len(bs.regVars[r]))
+	for i, id := range bs.regVars[r] {
+		out[i] = bs.names[id]
+	}
+	return out
+}
+
+// sets materializes every register as ordered variable-name sets for
+// FromSets — the one point the indexed state converts back to strings.
+func (bs *binderState) sets() [][]string {
+	out := make([][]string, bs.numRegs)
+	for r := 0; r < bs.numRegs; r++ {
+		out[r] = bs.varNames(r)
+	}
+	return out
+}

@@ -127,6 +127,11 @@ type Options struct {
 	// Metrics, when non-nil, counts the binder's testability-guided
 	// decisions as it colors (the binding itself is unaffected).
 	Metrics *Metrics
+	// Scratch, when non-nil, supplies the reusable binder arenas
+	// (interning tables, bitset graphs, candidate buffers); successive
+	// Bind calls sharing one Scratch run essentially allocation-free.
+	// A Scratch must not be used from two goroutines at once.
+	Scratch *Scratch
 }
 
 // Metrics counts the work the binder's testability mechanisms did. The
@@ -164,71 +169,79 @@ func Bind(g *dfg.Graph, mb *modassign.Binding, opts Options) (*Binding, error) {
 	return bindInternal(g, mb, opts, nil)
 }
 
-// bindInternal is Bind with an optional decision trace collector.
+// bindInternal is Bind with an optional decision trace collector. All
+// per-variable work runs on the indexed binderState (binderstate.go):
+// variables, modules and interconnect endpoints are interned once, and
+// the coloring loop queries only bitset rows, so a warm Scratch makes
+// the whole bind essentially allocation-free.
 func bindInternal(g *dfg.Graph, mb *modassign.Binding, opts Options, trace *[]Decision) (*Binding, error) {
-	cg, err := conflictGraph(g)
-	if err != nil {
+	var local binderState
+	bs := &local
+	if opts.Scratch != nil {
+		bs = &opts.Scratch.bs
+	}
+	if err := bs.init(g, mb); err != nil {
 		return nil, err
 	}
-	sh := NewSharing(g, mb)
 	mcs, err := g.MaxCliqueSize()
 	if err != nil {
 		return nil, err
 	}
+	for i, n := range bs.names {
+		bs.mcs[i] = int32(mcs[n])
+	}
 
 	// 1. PVES selection (Section III.A.1): eliminate low-SD, low-MCS
 	// variables first so that high-SD variables are colored first (in
-	// reverse order) while flexibility is maximal.
-	names := g.AllocVars()
-	rank := make(map[string]int, len(names))
-	ordered := append([]string(nil), names...)
+	// reverse order) while flexibility is maximal. Variable ids are in
+	// name order, so the id tie-break is the lexicographic one.
+	nv := len(bs.names)
+	ordered := bs.ordered[:0]
+	for i := 0; i < nv; i++ {
+		ordered = append(ordered, int32(i))
+	}
+	bs.ordered = ordered
 	if opts.SharingDegree {
-		sort.SliceStable(ordered, func(i, j int) bool {
-			si, sj := sh.SDVar(ordered[i]), sh.SDVar(ordered[j])
-			if si != sj {
-				return si < sj
+		insertionSortStable32(ordered, func(a, b int32) bool {
+			if bs.sdv[a] != bs.sdv[b] {
+				return bs.sdv[a] < bs.sdv[b]
 			}
-			if mcs[ordered[i]] != mcs[ordered[j]] {
-				return mcs[ordered[i]] < mcs[ordered[j]]
+			if bs.mcs[a] != bs.mcs[b] {
+				return bs.mcs[a] < bs.mcs[b]
 			}
-			return ordered[i] < ordered[j]
+			return a < b
 		})
 	}
 	for i, v := range ordered {
-		rank[v] = i
+		bs.rank[v] = int32(i)
 	}
-	scheme, err := cg.PVES(func(v string) int { return rank[v] })
-	if err != nil {
+	if err := bs.pves(); err != nil {
 		return nil, fmt.Errorf("regassign: conflict graph of %q is not an interval graph: %v", g.Name, err)
 	}
 
 	// 2. Color in reverse PVES order (Section III.A.2).
-	conf, err := g.Conflicts()
-	if err != nil {
-		return nil, err
-	}
-	ic := newInterconnectEstimator(g, mb)
 	minRegs, err := g.MinRegisters()
 	if err != nil {
 		return nil, err
 	}
-	var regs [][]string
-	for i := len(scheme) - 1; i >= 0; i-- {
-		v := scheme[i]
-		d := Decision{Index: len(scheme) - i, Var: v, SD: sh.SDVar(v)}
-		cands := candidateRegisters(conf, regs, v)
-		d.Candidates = append([]int(nil), cands...)
+	for i := nv - 1; i >= 0; i-- {
+		v := bs.scheme[i]
+		d := Decision{Index: nv - i, Var: bs.names[v], SD: int(bs.sdv[v])}
+		cands := bs.candidateRegs(v)
+		if trace != nil {
+			d.Candidates = append([]int(nil), cands...)
+		}
 		if len(cands) == 0 {
 			d.NewRegister = true
-			d.Chosen = len(regs)
+			d.Chosen = bs.numRegs
 			if trace != nil {
-				describe(&d, regs)
+				describe(&d, nil)
 				*trace = append(*trace, d)
 			}
-			regs = append(regs, []string{v})
+			bs.openRegister(v)
 			continue
 		}
-		choice := chooseRegister(g, mb, sh, ic, regs, cands, v, minRegs, opts, &d)
+		choice := chooseRegister(bs, cands, v, minRegs, opts, &d)
 		if d.Diverted && opts.Metrics != nil {
 			opts.Metrics.CaseOverrides++
 		}
@@ -238,68 +251,47 @@ func bindInternal(g *dfg.Graph, mb *modassign.Binding, opts Options, trace *[]De
 			// A singleton register can never itself be forced, and the
 			// design needs at least minRegs registers regardless.
 			d.NewRegister = true
-			d.Chosen = len(regs)
+			d.Chosen = bs.numRegs
 			if trace != nil {
-				describe(&d, regs)
+				describe(&d, nil)
 				*trace = append(*trace, d)
 			}
-			regs = append(regs, []string{v})
+			bs.openRegister(v)
 			continue
 		}
 		d.Chosen = choice
-		d.DeltaSD = sh.DeltaSD(regs[choice], v)
+		d.DeltaSD = bs.deltaSD(choice, v)
 		if trace != nil {
-			describe(&d, regs)
+			describe(&d, bs.varNames(choice))
 			*trace = append(*trace, d)
 		}
-		regs[choice] = append(regs[choice], v)
+		bs.assign(choice, v)
 	}
-	b := FromSets(regs)
+	b := FromSets(bs.sets())
 	return b, b.Validate(g)
-}
-
-// candidateRegisters returns indices of registers with no variable
-// conflicting with v.
-func candidateRegisters(conf map[string]map[string]bool, regs [][]string, v string) []int {
-	var out []int
-	for i, r := range regs {
-		ok := true
-		for _, u := range r {
-			if conf[v][u] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, i)
-		}
-	}
-	return out
 }
 
 // chooseRegister implements the coloring decision for one vertex:
 // primary ΔSD ranking, Case 1 / Case 2 diversion, and Lemma-2 CBILBO
 // avoidance. It returns -1 when every candidate would force a CBILBO and
 // allocating a fresh register stays within the minimum register budget.
-func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interconnectEstimator,
-	regs [][]string, cands []int, v string, minRegs int, opts Options, d *Decision) int {
-
+func chooseRegister(bs *binderState, cands []int, v int32, minRegs int, opts Options, d *Decision) int {
 	// Primary ranking: maximize ΔSD, then SD(R), then minimize estimated
 	// interconnect cost, then lowest index (the left-edge default).
-	ranked := append([]int(nil), cands...)
+	ranked := append(bs.ranked[:0], cands...)
+	bs.ranked = ranked
 	if opts.SharingDegree {
-		sort.SliceStable(ranked, func(a, b int) bool {
-			ia, ib := ranked[a], ranked[b]
-			da, db := sh.DeltaSD(regs[ia], v), sh.DeltaSD(regs[ib], v)
+		insertionSortStable(ranked, func(ia, ib int) bool {
+			da, db := bs.deltaSD(ia, v), bs.deltaSD(ib, v)
 			if da != db {
 				return da > db
 			}
-			sa, sb := sh.SDReg(regs[ia]), sh.SDReg(regs[ib])
+			sa, sb := bs.sdReg(ia), bs.sdReg(ib)
 			if sa != sb {
 				return sa > sb
 			}
 			if opts.InterconnectTies {
-				ca, cb := ic.score(regs[ia], v), ic.score(regs[ib], v)
+				ca, cb := bs.icScore(ia, v), bs.icScore(ib, v)
 				if ca != cb {
 					return ca < cb
 				}
@@ -315,9 +307,20 @@ func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interc
 	// register's established sharing degree exceeds what the primary
 	// choice would reach.
 	if opts.SharingDegree && opts.CaseOverrides {
-		if div := diversionSet(g, sh, ic, regs, cands, v, primary); len(div) > 0 {
-			ranked = append(div, removeAll(ranked, div)...)
-			if d != nil && ranked[0] != primary {
+		if div := bs.diversion(cands, v, primary); len(div) > 0 {
+			// Reorder in place: the diversion set first (its own order),
+			// then the surviving primary ranking. bs.divSeen still holds
+			// div's membership bits.
+			tmp := append(bs.divTmp[:0], ranked...)
+			bs.divTmp = tmp
+			ranked = append(ranked[:0], div...)
+			for _, r := range tmp {
+				if !bs.divSeen.Has(r) {
+					ranked = append(ranked, r)
+				}
+			}
+			bs.ranked = ranked
+			if ranked[0] != primary {
 				d.Diverted = true
 			}
 		}
@@ -328,7 +331,7 @@ func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interc
 	// do, allow the assignment (paper: avoided only when possible without
 	// an extra register).
 	if opts.AvoidCBILBO {
-		// checks tallies the ForcedCount evaluations locally and folds
+		// checks tallies the forcedCount evaluations locally and folds
 		// into Metrics once, keeping the loop free of pointer tests.
 		checks := int64(1)
 		defer func() {
@@ -336,153 +339,19 @@ func chooseRegister(g *dfg.Graph, mb *modassign.Binding, sh *Sharing, ic *interc
 				opts.Metrics.Lemma2Checks += checks
 			}
 		}()
-		base := ForcedCount(g, mb, regs)
+		base := bs.forcedCount()
 		for _, r := range ranked {
-			trial := make([][]string, len(regs))
-			copy(trial, regs)
-			trial[r] = append(append([]string(nil), regs[r]...), v)
 			checks++
-			if ForcedCount(g, mb, trial) <= base {
+			if bs.forcedCountWith(r, v) <= base {
 				return r
 			}
-			if d != nil {
-				d.Lemma2Skips++
-			}
+			d.Lemma2Skips++
 		}
-		if len(regs) < minRegs {
+		if bs.numRegs < minRegs {
 			return -1 // open a fresh register: free within the budget
 		}
 	}
 	return ranked[0]
-}
-
-// diversionSet computes the Case 1 / Case 2 candidate registers for v,
-// ordered by (ΔSD desc, interconnect asc, SD(R,v) desc, index).
-func diversionSet(g *dfg.Graph, sh *Sharing, ic *interconnectEstimator,
-	regs [][]string, cands []int, v string, primary int) []int {
-
-	sdPrimary := sh.SDRegWith(regs[primary], v)
-	isCand := make(map[int]bool, len(cands))
-	for _, c := range cands {
-		isCand[c] = true
-	}
-	set := make(map[int]bool)
-
-	// Case 1: v is an output variable of module Mj and some candidate
-	// register already holds an output variable of Mj.
-	for _, m := range sh.OutputModules(v) {
-		for _, r := range sh.RegsTouchingOutput(regs, m) {
-			if r != primary && isCand[r] && sh.SDReg(regs[r]) > sdPrimary {
-				set[r] = true
-			}
-		}
-	}
-	// Case 2: v is an input variable of Mj; because operators are binary
-	// the diversion applies only when two registers already hold input
-	// variables of Mj (the module's TPG pair already exists).
-	for _, m := range sh.InputModules(v) {
-		touching := sh.RegsTouchingInput(regs, m)
-		if len(touching) < 2 {
-			continue
-		}
-		for _, r := range touching {
-			if r != primary && isCand[r] && sh.SDReg(regs[r]) > sdPrimary {
-				set[r] = true
-			}
-		}
-	}
-	out := make([]int, 0, len(set))
-	for r := range set {
-		out = append(out, r)
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		ia, ib := out[a], out[b]
-		da, db := sh.DeltaSD(regs[ia], v), sh.DeltaSD(regs[ib], v)
-		if da != db {
-			return da > db
-		}
-		ca, cb := ic.score(regs[ia], v), ic.score(regs[ib], v)
-		if ca != cb {
-			return ca < cb
-		}
-		sa, sb := sh.SDRegWith(regs[ia], v), sh.SDRegWith(regs[ib], v)
-		if sa != sb {
-			return sa > sb
-		}
-		return ia < ib
-	})
-	return out
-}
-
-func removeAll(list, drop []int) []int {
-	in := make(map[int]bool, len(drop))
-	for _, d := range drop {
-		in[d] = true
-	}
-	var out []int
-	for _, x := range list {
-		if !in[x] {
-			out = append(out, x)
-		}
-	}
-	return out
-}
-
-// interconnectEstimator scores the mux-cost effect of merging a variable
-// into a register: the number of new data sources plus new destinations
-// the register's physical port would acquire (the Fig. 6 analysis).
-type interconnectEstimator struct {
-	srcOf map[string]string   // var -> producing module name or "in:<v>"
-	dstOf map[string][]string // var -> consuming module names (+ "out")
-}
-
-func newInterconnectEstimator(g *dfg.Graph, mb *modassign.Binding) *interconnectEstimator {
-	ic := &interconnectEstimator{
-		srcOf: make(map[string]string),
-		dstOf: make(map[string][]string),
-	}
-	for _, v := range g.Vars() {
-		if v.IsInput {
-			ic.srcOf[v.Name] = "in:" + v.Name
-		} else {
-			ic.srcOf[v.Name] = mb.ModuleOf(v.Def).Name
-		}
-		seen := make(map[string]bool)
-		for _, u := range v.Uses {
-			m := mb.ModuleOf(u).Name
-			if !seen[m] {
-				seen[m] = true
-				ic.dstOf[v.Name] = append(ic.dstOf[v.Name], m)
-			}
-		}
-		if v.IsOutput {
-			ic.dstOf[v.Name] = append(ic.dstOf[v.Name], "out")
-		}
-	}
-	return ic
-}
-
-// score returns the number of new sources and destinations v adds to the
-// register holding vars (0 = Fig. 6 case 5, the cheapest merge).
-func (ic *interconnectEstimator) score(vars []string, v string) int {
-	srcs := make(map[string]bool)
-	dsts := make(map[string]bool)
-	for _, u := range vars {
-		srcs[ic.srcOf[u]] = true
-		for _, d := range ic.dstOf[u] {
-			dsts[d] = true
-		}
-	}
-	cost := 0
-	if !srcs[ic.srcOf[v]] {
-		cost++
-	}
-	for _, d := range ic.dstOf[v] {
-		if !dsts[d] {
-			cost++
-		}
-	}
-	return cost
 }
 
 func conflictGraph(g *dfg.Graph) (*graph.Undirected, error) {

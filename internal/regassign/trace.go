@@ -46,8 +46,10 @@ func FormatTrace(trace []Decision) string {
 	return sb.String()
 }
 
-// describe builds the Note text for a decision.
-func describe(d *Decision, regs [][]string) {
+// describe builds the Note text for a decision. chosenVars is the
+// content of the chosen register before v joins it (nil for a fresh
+// register).
+func describe(d *Decision, chosenVars []string) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s (SD=%d): ", d.Var, d.SD)
 	if d.NewRegister {
@@ -65,7 +67,7 @@ func describe(d *Decision, regs [][]string) {
 	}
 	sort.Strings(cands)
 	fmt.Fprintf(&sb, "-> R%d {%s} (dSD=%+d; candidates %s",
-		d.Chosen+1, strings.Join(regs[d.Chosen], ","), d.DeltaSD, strings.Join(cands, ","))
+		d.Chosen+1, strings.Join(chosenVars, ","), d.DeltaSD, strings.Join(cands, ","))
 	if d.Diverted {
 		sb.WriteString("; Case 1/2 diversion")
 	}

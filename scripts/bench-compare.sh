@@ -1,11 +1,22 @@
 #!/usr/bin/env sh
 # Compare benchmarks/latest.txt against benchmarks/baseline.txt and fail
-# if any benchmark regressed by more than BENCH_MAX_REGRESSION_PCT
-# percent (default: 5) in ns/op.
+# when a benchmark regressed:
 #
-# Benchmarks present in only one of the two files are reported but do
-# not fail the comparison; keep baseline and compare runs on the same
-# goos/goarch to avoid false regressions.
+#   - ns/op       by more than BENCH_MAX_REGRESSION_PCT       (default: 5)
+#   - allocs/op   by more than BENCH_MAX_ALLOC_REGRESSION_PCT (default: 5)
+#   - B/op        by more than BENCH_MAX_ALLOC_REGRESSION_PCT (default: 5)
+#
+# ns/op is machine-dependent, so keep baseline and compare runs on the
+# same goos/goarch; allocs/op and B/op are deterministic per Go version
+# and gate reliably across machines. Tiny benchmarks get an absolute
+# floor (BENCH_ALLOC_ABS_FLOOR allocs, default 8): a change within the
+# floor never fails, so a one-alloc wobble on a 5-alloc benchmark does
+# not read as a 20% regression.
+#
+# Benchmarks present in only one of the two files do not fail the
+# comparison; they are reported per benchmark and recapped in explicit
+# "ADDED"/"REMOVED" summary lines so a renamed or dropped benchmark is
+# visible in the last lines of CI output.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,6 +24,8 @@ cd "$(dirname "$0")/.."
 BASELINE=benchmarks/baseline.txt
 LATEST=benchmarks/latest.txt
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+MAX_ALLOC_PCT="${BENCH_MAX_ALLOC_REGRESSION_PCT:-5}"
+ALLOC_FLOOR="${BENCH_ALLOC_ABS_FLOOR:-8}"
 
 if [ ! -f "$BASELINE" ]; then
     echo "no $BASELINE - nothing to compare (run scripts/bench-update.sh to create one)"
@@ -23,47 +36,83 @@ if [ ! -f "$LATEST" ]; then
     exit 1
 fi
 
-awk -v max_pct="$MAX_PCT" '
+awk -v max_pct="$MAX_PCT" -v max_alloc_pct="$MAX_ALLOC_PCT" -v alloc_floor="$ALLOC_FLOOR" '
     # Benchmark result lines look like:
-    #   BenchmarkSynthesizeAll/workers=4-8   123   456789 ns/op   ...
+    #   BenchmarkSynthesizeAll/workers=4-8   123   456789 ns/op   2048 B/op   35 allocs/op
     /^Benchmark/ && / ns\/op/ {
         name = $1
         # Drop the -GOMAXPROCS suffix so baselines compare across
         # machines with different core counts (Go omits it when 1).
         sub(/-[0-9]+$/, "", name)
+        nsop = ""; bop = ""; allocs = ""
         for (i = 2; i <= NF; i++) {
-            if ($i == "ns/op") { nsop = $(i - 1); break }
+            if ($i == "ns/op")     nsop   = $(i - 1)
+            if ($i == "B/op")      bop    = $(i - 1)
+            if ($i == "allocs/op") allocs = $(i - 1)
         }
         if (FNR == NR) {
             # First file: accumulate the baseline (average over -count runs).
-            base_sum[name] += nsop
-            base_n[name]++
+            base_ns[name] += nsop; base_n[name]++
+            if (bop != "")    { base_b[name] += bop;    base_bn[name]++ }
+            if (allocs != "") { base_a[name] += allocs; base_an[name]++ }
         } else {
-            lat_sum[name] += nsop
-            lat_n[name]++
+            lat_ns[name] += nsop; lat_n[name]++
+            if (bop != "")    { lat_b[name] += bop;    lat_bn[name]++ }
+            if (allocs != "") { lat_a[name] += allocs; lat_an[name]++ }
         }
     }
+    function pct(base, latest) { return base > 0 ? (latest - base) * 100 / base : 0 }
     END {
-        fail = 0
-        for (name in lat_sum) {
-            latest = lat_sum[name] / lat_n[name]
-            if (!(name in base_sum)) {
-                printf "NEW       %-60s %12.0f ns/op\n", name, latest
+        fail = 0; added = 0; removed = 0
+        for (name in lat_ns) {
+            latest = lat_ns[name] / lat_n[name]
+            if (!(name in base_ns)) {
+                printf "ADDED     %-60s %12.0f ns/op\n", name, latest
+                added++
                 continue
             }
-            base = base_sum[name] / base_n[name]
-            delta = base > 0 ? (latest - base) * 100 / base : 0
-            status = "ok"
-            if (delta > max_pct) { status = "REGRESSED"; fail = 1 }
-            printf "%-9s %-60s %12.0f -> %12.0f ns/op  (%+.1f%%)\n", status, name, base, latest, delta
+            base = base_ns[name] / base_n[name]
+            dns = pct(base, latest)
+            why = ""
+            if (dns > max_pct) why = "ns/op"
+            metrics = sprintf("%12.0f -> %12.0f ns/op  (%+.1f%%)", base, latest, dns)
+            if ((name in base_an) && (name in lat_an)) {
+                ab = base_a[name] / base_an[name]
+                al = lat_a[name] / lat_an[name]
+                da = pct(ab, al)
+                if (da > max_alloc_pct && al - ab > alloc_floor)
+                    why = why == "" ? "allocs/op" : why ",allocs/op"
+                metrics = metrics sprintf("  %8.0f -> %8.0f allocs/op (%+.1f%%)", ab, al, da)
+            }
+            if ((name in base_bn) && (name in lat_bn)) {
+                bb = base_b[name] / base_bn[name]
+                bl = lat_b[name] / lat_bn[name]
+                db = pct(bb, bl)
+                # Scale the alloc floor to bytes (16 B per allowed alloc)
+                # so byte-sized wobble on tiny benchmarks passes too.
+                if (db > max_alloc_pct && bl - bb > alloc_floor * 16)
+                    why = why == "" ? "B/op" : why ",B/op"
+                metrics = metrics sprintf("  %10.0f -> %10.0f B/op (%+.1f%%)", bb, bl, db)
+            }
+            if (why != "") {
+                fail = 1
+                printf "%-9s %-60s %s  [%s]\n", "REGRESSED", name, metrics, why
+            } else {
+                printf "%-9s %-60s %s\n", "ok", name, metrics
+            }
         }
-        for (name in base_sum) {
-            if (!(name in lat_sum)) printf "MISSING   %-60s (in baseline, not in latest)\n", name
+        for (name in base_ns) {
+            if (!(name in lat_ns)) {
+                printf "REMOVED   %-60s (in baseline, not in latest)\n", name
+                removed++
+            }
         }
+        if (added)   printf "\nADDED: %d benchmark(s) present only in latest (no baseline to compare)\n", added
+        if (removed) printf "%sREMOVED: %d benchmark(s) present only in baseline (dropped or renamed in latest)\n", added ? "" : "\n", removed
         if (fail) {
-            printf "\nFAIL: at least one benchmark regressed by more than %s%%\n", max_pct
+            printf "\nFAIL: regression beyond %s%% ns/op or %s%% allocs/op, B/op\n", max_pct, max_alloc_pct
             exit 1
         }
-        printf "\nPASS: no benchmark regressed by more than %s%%\n", max_pct
+        printf "\nPASS: no benchmark regressed beyond %s%% ns/op or %s%% allocs/op, B/op\n", max_pct, max_alloc_pct
     }
 ' "$BASELINE" "$LATEST"

@@ -1,5 +1,8 @@
 #!/usr/bin/env sh
-# Promote benchmarks/latest.txt to the committed regression baseline.
+# Promote benchmarks/latest.txt to the committed regression baseline,
+# first showing the per-benchmark allocs/op movement the promotion bakes
+# in (allocs are deterministic per Go version, so this is the part of
+# the baseline change worth reviewing line by line).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -7,6 +10,29 @@ cd "$(dirname "$0")/.."
 if [ ! -f benchmarks/latest.txt ]; then
     echo "no benchmarks/latest.txt - run scripts/bench.sh first" >&2
     exit 1
+fi
+
+if [ -f benchmarks/baseline.txt ]; then
+    echo "allocs/op movement baked into the new baseline:"
+    awk '
+        /^Benchmark/ && / allocs\/op/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name)
+            for (i = 2; i <= NF; i++) if ($i == "allocs/op") allocs = $(i - 1)
+            if (FNR == NR) { base[name] += allocs; basen[name]++ }
+            else           { lat[name]  += allocs; latn[name]++ }
+        }
+        END {
+            for (name in lat) {
+                l = lat[name] / latn[name]
+                if (!(name in base)) { printf "  %-60s %38.0f allocs/op (new)\n", name, l; continue }
+                b = base[name] / basen[name]
+                d = b > 0 ? (l - b) * 100 / b : 0
+                printf "  %-60s %12.0f -> %12.0f allocs/op (%+.1f%%)\n", name, b, l, d
+            }
+        }
+    ' benchmarks/baseline.txt benchmarks/latest.txt
+    echo ""
 fi
 
 cp benchmarks/latest.txt benchmarks/baseline.txt
