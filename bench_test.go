@@ -5,6 +5,7 @@
 package bistpath
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -328,6 +329,42 @@ func BenchmarkBISTOptimize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bist.Optimize(dp, bist.DefaultOptions(8)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Multi-objective search — the exhaustive Pareto walk on the largest
+// benchmark space (paulin, 41472 embedding combinations), producing the
+// full non-dominated front with per-leaf session scheduling.
+func BenchmarkOptimizePareto(b *testing.B) {
+	dp := builtDatapath(b, "paulin", false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front, err := bist.OptimizePareto(context.Background(), dp, bist.DefaultOptions(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(front) != 5 {
+			b.Fatalf("front has %d members, want 5", len(front))
+		}
+	}
+}
+
+// Full-pipeline Pareto synthesis, including front verification-ready
+// Result assembly (points, overheads, sessions).
+func BenchmarkSynthesizePareto(b *testing.B) {
+	d, mods, err := Benchmark("paulin")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := d.SynthesizePareto(mods, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Pareto) != 5 {
+			b.Fatalf("front has %d points, want 5", len(res.Pareto))
 		}
 	}
 }

@@ -52,6 +52,88 @@ func (m Mode) String() string {
 	return "testable"
 }
 
+// Objective selects what the BIST search minimizes.
+type Objective int
+
+// BIST search objectives.
+const (
+	// MinArea minimizes register upgrade area alone — the paper's
+	// objective and the default. This path is byte-identical to
+	// releases without multi-objective support.
+	MinArea Objective = iota
+	// WeightedSum minimizes the scalar Config.Weights · {Area, TestTime,
+	// PeakPower}. The winning plan always lies on the Pareto front; ties
+	// break toward the lexicographically smallest cost vector.
+	WeightedSum
+	// ParetoFront enumerates the full non-dominated set of plans over
+	// {Area, TestTime, PeakPower}. The Result is assembled from the
+	// area-minimal front member (identical to the MinArea plan) and the
+	// whole front is published in Result.Pareto.
+	ParetoFront
+)
+
+func (o Objective) String() string {
+	switch o {
+	case WeightedSum:
+		return "weighted"
+	case ParetoFront:
+		return "pareto"
+	}
+	return "area"
+}
+
+// ParseObjective converts the textual objective names used by the
+// command-line tools ("area", "weighted", "pareto") back to an
+// Objective.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "area", "":
+		return MinArea, nil
+	case "weighted":
+		return WeightedSum, nil
+	case "pareto":
+		return ParetoFront, nil
+	}
+	return MinArea, fmt.Errorf("%w: unknown objective %q (want area, weighted or pareto)", ErrBadObjective, s)
+}
+
+// Weights are the non-negative coefficients of the WeightedSum
+// objective. The zero value is normalized to the balanced {1, 1, 1}.
+type Weights struct {
+	Area      int
+	TestTime  int
+	PeakPower int
+}
+
+// CostVector is the multi-objective cost of one BIST plan: register
+// upgrade area (gate equivalents), test time (sessions in the
+// schedule) and peak per-session active power (sum of the scheduled
+// modules' power weights). All components are minimized.
+type CostVector struct {
+	Area      int
+	TestTime  int
+	PeakPower int
+}
+
+// Dominates reports Pareto dominance for minimization: c at least as
+// good everywhere and strictly better somewhere.
+func (c CostVector) Dominates(o CostVector) bool {
+	return bist.CostVector(c).Dominates(bist.CostVector(o))
+}
+
+func (c CostVector) String() string { return bist.CostVector(c).String() }
+
+// ParetoPoint is one non-dominated plan on a Pareto front, summarized
+// for reporting: its cost vector, the resulting total BIST area and
+// overhead, the register style mix and the test session schedule.
+type ParetoPoint struct {
+	Cost        CostVector
+	BISTArea    int
+	OverheadPct float64
+	StyleCounts map[string]int
+	Sessions    [][]string
+}
+
 // Config controls a synthesis run. Use DefaultConfig and override fields.
 type Config struct {
 	// Width is the datapath bit width (default 8).
@@ -80,6 +162,20 @@ type Config struct {
 	// documentation on determinism. Batch-level parallelism across
 	// designs (SynthesizeAll) is usually the better lever.
 	Workers int
+	// Objective selects what the BIST search minimizes: MinArea (the
+	// paper's objective, the default), WeightedSum or ParetoFront. The
+	// MinArea path is completely unchanged by the other objectives —
+	// same search, same Result bytes, same cache keys.
+	Objective Objective
+	// Weights are the WeightedSum coefficients; the zero value means
+	// the balanced {1, 1, 1}. Ignored by the other objectives.
+	Weights Weights
+	// Power overrides per-module active-power weights for the
+	// multi-objective objectives; modules absent from the map default
+	// to an area-proportional weight (the module's gate area under the
+	// area model — see the README's power model notes). Ignored by
+	// MinArea.
+	Power map[string]int
 	// Observer, when non-nil, receives structured phase and progress
 	// events while the run executes (see Observer's documentation for
 	// the concurrency contract). Nil costs nothing.
@@ -145,16 +241,27 @@ type Result struct {
 	// BindingTrace explains each register-binding decision (Config.Trace).
 	BindingTrace []string
 
+	// Cost is the plan's multi-objective cost vector, populated for the
+	// WeightedSum and ParetoFront objectives (nil under MinArea, keeping
+	// that path's Result untouched field for field).
+	Cost *CostVector
+	// Pareto is the non-dominated plan set of a ParetoFront run, in
+	// canonical lexicographic (Area, TestTime, PeakPower) order; its
+	// first member is the plan the Result itself was assembled from.
+	// Nil for the other objectives.
+	Pareto []ParetoPoint
+
 	// Stats records per-phase wall times and search/binder effort
 	// counters for this run. It is the one timing-dependent part of a
 	// Result: ReportText never includes it, so reports stay
 	// byte-identical across runs and worker counts.
 	Stats Stats
 
-	dp   *datapath.Datapath
-	plan *bist.Plan
-	mb   *modassign.Binding
-	cfg  Config
+	dp          *datapath.Datapath
+	plan        *bist.Plan
+	mb          *modassign.Binding
+	cfg         Config
+	paretoPlans []*bist.Plan // full plans behind Pareto, for VerifyPareto
 }
 
 // NumBISTRegisters returns how many registers were modified for test.
@@ -198,11 +305,17 @@ func (r *Result) SelfCheck(trials int, seed int64) error {
 
 // StyleSummary renders the BIST resource mix in the Table II style, e.g.
 // "1 CBILBO, 2 TPG, 1 SA".
-func (r *Result) StyleSummary() string {
+func (r *Result) StyleSummary() string { return styleSummary(r.StyleCounts) }
+
+// StyleSummary renders the point's register style mix in the Table II
+// style, exactly as Result.StyleSummary does for the whole result.
+func (p ParetoPoint) StyleSummary() string { return styleSummary(p.StyleCounts) }
+
+func styleSummary(counts map[string]int) string {
 	order := []string{"CBILBO", "TPG/SA", "TPG", "SA"}
 	var parts []string
 	for _, s := range order {
-		if n := r.StyleCounts[s]; n > 0 {
+		if n := counts[s]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%d %s", n, s))
 		}
 	}
@@ -210,6 +323,55 @@ func (r *Result) StyleSummary() string {
 		return "none"
 	}
 	return strings.Join(parts, ", ")
+}
+
+// validateObjective rejects malformed multi-objective configuration:
+// an unknown Objective value, negative weights (WeightedBest's
+// front-restriction argument needs non-negativity) or negative power
+// weights (the peak-power lower bound used for dominance pruning
+// assumes session sums never fall below a single member's weight).
+func validateObjective(cfg Config) error {
+	if cfg.Objective < MinArea || cfg.Objective > ParetoFront {
+		return fmt.Errorf("%w: unknown objective value %d", ErrBadObjective, int(cfg.Objective))
+	}
+	if cfg.Weights.Area < 0 || cfg.Weights.TestTime < 0 || cfg.Weights.PeakPower < 0 {
+		return fmt.Errorf("%w: negative weights %+v", ErrBadObjective, cfg.Weights)
+	}
+	if len(cfg.Power) > 0 {
+		names := make([]string, 0, len(cfg.Power))
+		for n := range cfg.Power {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if cfg.Power[n] < 0 {
+				return fmt.Errorf("%w: negative power weight %d for module %s", ErrBadObjective, cfg.Power[n], n)
+			}
+		}
+	}
+	return nil
+}
+
+// attachPareto publishes a ParetoFront run's plan set on the Result:
+// the reporting summaries in Pareto and the full plans for
+// VerifyPareto.
+func attachPareto(res *Result, front []*bist.Plan) {
+	res.paretoPlans = front
+	res.Pareto = make([]ParetoPoint, 0, len(front))
+	for _, p := range front {
+		counts := make(map[string]int)
+		for s, n := range p.StyleCount() {
+			counts[s.String()] = n
+		}
+		bistArea := res.BaseArea + p.Cost.Area
+		res.Pareto = append(res.Pareto, ParetoPoint{
+			Cost:        CostVector(p.Cost),
+			BISTArea:    bistArea,
+			OverheadPct: area.Overhead(res.BaseArea, bistArea),
+			StyleCounts: counts,
+			Sessions:    sortSessions(p.Sessions),
+		})
+	}
 }
 
 // synthesize is the internal-type entry point shared by the public
@@ -224,7 +386,13 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	if cfg.Width == 0 {
 		cfg.Width = 8
 	}
-	if cfg.Cache != nil {
+	if cfg.Objective == WeightedSum && cfg.Weights == (Weights{}) {
+		cfg.Weights = Weights{Area: 1, TestTime: 1, PeakPower: 1}
+	}
+	// Pareto-front runs bypass the cache: a cache entry persists a single
+	// plan, not a plan set (the area-only and weighted objectives cache
+	// normally, with the objective folded into the key).
+	if cfg.Cache != nil && cfg.Objective != ParetoFront {
 		return cfg.Cache.synthesize(ctx, g, mb, cfg, sc)
 	}
 	return synthesizeCore(ctx, g, mb, cfg, nil, sc)
@@ -254,6 +422,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 	if cfg.Width == 0 {
 		cfg.Width = 8
 	}
+	if cfg.Objective == WeightedSum && cfg.Weights == (Weights{}) {
+		cfg.Weights = Weights{Area: 1, TestTime: 1, PeakPower: 1}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -282,6 +453,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 	}
 
 	if err := phase(PhaseValidate, &st.Validate, func() error {
+		if err := validateObjective(cfg); err != nil {
+			return err
+		}
 		if err := g.Validate(); err != nil {
 			return err
 		}
@@ -352,6 +526,7 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 	}
 
 	var plan *bist.Plan
+	var front []*bist.Plan
 	var bm bist.Metrics
 	if cached != nil {
 		// Disk-cache replay: splice in the persisted plan instead of
@@ -371,6 +546,7 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 			MinimizeSessions: cfg.MinimizeSessions,
 			Workers:          cfg.Workers,
 			Metrics:          &bm,
+			Power:            cfg.Power,
 		}
 		if sc != nil {
 			bopts.Scratch = sc.bist
@@ -380,9 +556,25 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 				obs(Event{Design: g.Name, Kind: SearchProgress, Phase: PhaseBISTSearch, SearchNodes: nodes})
 			}
 		}
-		var err error
-		plan, err = bist.OptimizeCtx(ctx, dp, bopts)
-		return err
+		if cfg.Objective == MinArea {
+			var err error
+			plan, err = bist.OptimizeCtx(ctx, dp, bopts)
+			return err
+		}
+		// Multi-objective: enumerate the non-dominated plan set once;
+		// the weighted optimum is always on it, so both objectives
+		// share the enumeration.
+		fr, err := bist.OptimizePareto(ctx, dp, bopts)
+		if err != nil {
+			return err
+		}
+		if cfg.Objective == WeightedSum {
+			plan = bist.WeightedBest(fr, cfg.Weights.Area, cfg.Weights.TestTime, cfg.Weights.PeakPower)
+		} else {
+			plan = fr[0]
+			front = fr
+		}
+		return nil
 	}); err != nil {
 		return nil, err
 	}
@@ -395,6 +587,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 	res, err := assemble(g, mb, rb, dp, plan, sh, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if front != nil {
+		attachPareto(res, front)
 	}
 	for _, d := range trace {
 		res.BindingTrace = append(res.BindingTrace, d.Note)
@@ -470,6 +665,13 @@ func assemble(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding,
 		}
 	}
 	res.Sessions = sortSessions(plan.Sessions)
+	if cfg.Objective != MinArea {
+		// The cost vector is derived from the plan, not the search, so
+		// cache replays of weighted runs reproduce it exactly.
+		pc := bist.PlanCost(plan, bist.PowerWeights(model, dp, cfg.Power))
+		cv := CostVector(pc)
+		res.Cost = &cv
+	}
 	return res, nil
 }
 
@@ -539,6 +741,23 @@ func (r *Result) ReportText() string {
 	fmt.Fprintf(&sb, "  test sessions: %d\n", len(r.Sessions))
 	for i, s := range r.Sessions {
 		fmt.Fprintf(&sb, "    session %d: %s\n", i+1, strings.Join(s, ", "))
+	}
+	// Multi-objective runs append their cost vector and, for ParetoFront,
+	// the trade-off table. MinArea results never reach these lines, so
+	// their reports stay byte-identical to earlier releases.
+	if r.Cost != nil {
+		fmt.Fprintf(&sb, "  objective: %s", r.cfg.Objective)
+		if r.cfg.Objective == WeightedSum {
+			w := r.cfg.Weights
+			fmt.Fprintf(&sb, " (area=%d time=%d power=%d)", w.Area, w.TestTime, w.PeakPower)
+		}
+		fmt.Fprintf(&sb, "   cost: %s\n", r.Cost)
+		if len(r.Pareto) > 0 {
+			fmt.Fprintf(&sb, "  pareto front: %d non-dominated plans\n", len(r.Pareto))
+			for _, pt := range r.Pareto {
+				fmt.Fprintf(&sb, "    %-36s overhead=%6.2f%%  %s\n", pt.Cost, pt.OverheadPct, pt.StyleSummary())
+			}
+		}
 	}
 	return sb.String()
 }

@@ -292,6 +292,26 @@ func (r *Result) clone() *Result {
 		cp.StyleCounts[k] = v
 	}
 	cp.BindingTrace = append([]string(nil), r.BindingTrace...)
+	if r.Cost != nil {
+		c := *r.Cost
+		cp.Cost = &c
+	}
+	if r.Pareto != nil {
+		cp.Pareto = make([]ParetoPoint, len(r.Pareto))
+		for i, pt := range r.Pareto {
+			counts := make(map[string]int, len(pt.StyleCounts))
+			for k, v := range pt.StyleCounts {
+				counts[k] = v
+			}
+			sessions := make([][]string, len(pt.Sessions))
+			for j, s := range pt.Sessions {
+				sessions[j] = append([]string(nil), s...)
+			}
+			pt.StyleCounts = counts
+			pt.Sessions = sessions
+			cp.Pareto[i] = pt
+		}
+	}
 	return &cp
 }
 
@@ -363,6 +383,28 @@ func cacheKey(g *dfg.Graph, mb *modassign.Binding, cfg Config) cache.Key {
 		cfg.AllowPadTPG, cfg.MinimizeSessions, cfg.Trace)
 	fmt.Fprintf(&sb, "sharing %t\ncaseoverrides %t\navoidcbilbo %t\nweightedinterconnect %t\n",
 		cfg.Sharing, cfg.CaseOverrides, cfg.AvoidCBILBO, cfg.WeightedInterconnect)
+	// Multi-objective configuration joins the key only when it departs
+	// from the default MinArea objective, so every key computed for an
+	// area-only config is bit-identical to earlier releases — and a
+	// weighted run can never be served a cached pure-area result.
+	// (MinArea ignores Weights and Power entirely, so they are correctly
+	// absent from its keys.)
+	if cfg.Objective != MinArea {
+		fmt.Fprintf(&sb, "objective %s\nweights %d %d %d\n",
+			cfg.Objective, cfg.Weights.Area, cfg.Weights.TestTime, cfg.Weights.PeakPower)
+		if len(cfg.Power) > 0 {
+			names := make([]string, 0, len(cfg.Power))
+			for n := range cfg.Power {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			sb.WriteString("power")
+			for _, n := range names {
+				fmt.Fprintf(&sb, " %s=%d", n, cfg.Power[n])
+			}
+			sb.WriteByte('\n')
+		}
+	}
 
 	sb.WriteString("modules\n")
 	mods := append([]*modassign.Module(nil), mb.Modules...)

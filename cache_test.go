@@ -130,6 +130,80 @@ func TestCacheKeySensitivity(t *testing.T) {
 	}
 }
 
+// The multi-objective knobs are semantic: a weighted run must never be
+// served a cached pure-area result, different weight or power profiles
+// must occupy different entries — while the key of every area-only
+// config stays byte-identical to earlier releases (its misses here would
+// otherwise double).
+func TestCacheKeyObjectiveSensitivity(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	synthCached(t, c, "ex1", DefaultConfig())
+
+	weighted := DefaultConfig()
+	weighted.Objective = WeightedSum
+	if res := synthCached(t, c, "ex1", weighted); res.Stats.CacheHit {
+		t.Fatal("weighted run served the cached pure-area result")
+	}
+
+	heavier := weighted
+	heavier.Weights = Weights{Area: 1, TestTime: 100, PeakPower: 1}
+	if res := synthCached(t, c, "ex1", heavier); res.Stats.CacheHit {
+		t.Error("different weights shared a cache entry")
+	}
+
+	powered := weighted
+	powered.Power = map[string]int{"m1": 3}
+	if res := synthCached(t, c, "ex1", powered); res.Stats.CacheHit {
+		t.Error("a power override shared a cache entry with the default model")
+	}
+
+	if st := c.Stats(); st.Misses != 4 {
+		t.Fatalf("distinct objective configs produced %d misses, want 4", st.Misses)
+	}
+
+	// A repeated weighted run hits its own entry and replays the cost
+	// vector byte-for-byte.
+	cold := synthCached(t, c, "ex1", weighted)
+	if cold.Stats.CacheHit != true {
+		t.Fatal("repeated weighted run missed")
+	}
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := synthCached(t, c, "ex1", weighted)
+	warmJSON, err := again.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON, warmJSON) {
+		t.Error("weighted cache hit JSON differs across hits")
+	}
+	if cold.Cost == nil || again.Cost == nil || *cold.Cost != *again.Cost {
+		t.Errorf("weighted cache hit cost %v differs from %v", again.Cost, cold.Cost)
+	}
+}
+
+// Pareto runs bypass the cache entirely: an entry stores a single plan,
+// not a front, so serving one would silently drop the front.
+func TestCacheParetoBypass(t *testing.T) {
+	c := newTestCache(t, CacheOptions{})
+	cfg := DefaultConfig()
+	cfg.Objective = ParetoFront
+	first := synthCached(t, c, "ex1", cfg)
+	second := synthCached(t, c, "ex1", cfg)
+	if first.Stats.CacheHit || second.Stats.CacheHit {
+		t.Fatal("a Pareto run was served from the cache")
+	}
+	if st := c.Stats(); st.Misses != 0 || st.MemoryHits != 0 {
+		t.Fatalf("Pareto runs touched the cache: %+v", st)
+	}
+	if len(second.Pareto) == 0 || len(second.Pareto) != len(first.Pareto) {
+		t.Fatalf("bypassed runs disagree on the front: %d vs %d points",
+			len(first.Pareto), len(second.Pareto))
+	}
+}
+
 // The DFG text format omits port-input marks, so the key must carry
 // them separately: two otherwise identical designs differing only in
 // MarkPortInput must occupy different entries.

@@ -65,6 +65,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bistpath synth -bench <name>[,<name>...]|all | -dfg <file> [-mode testable|traditional] [-width N] [-j N]
+                 [-objective area|weighted|pareto] [-weights A,T,P]
                  [-cache] [-cache-dir DIR] [-stats] [-json] [-netlist] [-dot]
   bistpath sim   -bench <name> | -dfg <file> -inputs a=1,b=2,...
   bistpath cover -bench <name> | -dfg <file> [-patterns N] [-width N]
@@ -118,6 +119,8 @@ func cmdSynth(args []string) error {
 	jsonFlag := fs.Bool("json", false, "emit the machine-readable JSON result (an array for multi-design runs; includes stats)")
 	cacheFlag := fs.Bool("cache", false, "serve duplicate designs from an in-memory result cache")
 	cacheDir := fs.String("cache-dir", "", "also persist cached results under this directory (implies -cache)")
+	objectiveFlag := fs.String("objective", "", "optimization objective: area (default), weighted, or pareto")
+	weightsFlag := fs.String("weights", "", "weighted objective coefficients as area,time,power (e.g. 1,50,2)")
 	fs.Parse(args)
 
 	cfg := bistpath.DefaultConfig()
@@ -130,6 +133,21 @@ func cmdSynth(args []string) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	cfg.Trace = *traceFlag
+	obj, err := bistpath.ParseObjective(*objectiveFlag)
+	if err != nil {
+		return err
+	}
+	cfg.Objective = obj
+	if *weightsFlag != "" {
+		if obj != bistpath.WeightedSum {
+			return fmt.Errorf("-weights applies only to -objective weighted")
+		}
+		w, err := parseWeights(*weightsFlag)
+		if err != nil {
+			return err
+		}
+		cfg.Weights = w
+	}
 
 	var cc *bistpath.Cache
 	if *cacheFlag || *cacheDir != "" {
@@ -230,6 +248,24 @@ func cmdSynth(args []string) error {
 		fmt.Print(res.DatapathDot())
 	}
 	return nil
+}
+
+// parseWeights parses the -weights argument: three comma-separated
+// non-negative integers for area, test time and peak power.
+func parseWeights(arg string) (bistpath.Weights, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 3 {
+		return bistpath.Weights{}, fmt.Errorf("-weights needs area,time,power (got %q)", arg)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return bistpath.Weights{}, fmt.Errorf("bad -weights value %q: %v", p, err)
+		}
+		vals[i] = n
+	}
+	return bistpath.Weights{Area: vals[0], TestTime: vals[1], PeakPower: vals[2]}, nil
 }
 
 // benchList expands the -bench argument into a list of benchmark names:

@@ -51,6 +51,7 @@ func main() {
 	sessions := flag.Bool("sessions", false, "run the test-time/session study")
 	statsFlag := flag.Bool("stats", false, "run the synthesis observability table (phase times + search counters)")
 	verifyFlag := flag.Bool("verify", false, "run the differential verification harness on every benchmark")
+	objectiveFlag := flag.Bool("objective", false, "run the multi-objective trade-off study (area x test time x peak power)")
 	jflag := flag.Int("j", 0, "parallel synthesis workers for the table sweeps (0 = GOMAXPROCS)")
 	cacheFlag := flag.Bool("cache", false, "share a synthesis result cache across the table sweeps")
 	cacheDir := flag.String("cache-dir", "", "also persist cached results under this directory (implies -cache)")
@@ -66,7 +67,7 @@ func main() {
 		defer func() { fmt.Fprintln(os.Stderr, batchCache.Stats()) }()
 	}
 
-	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag && !*verifyFlag
+	all := *table == 0 && *fig == 0 && !*ablation && !*gate && !*scale && !*scanCmp && !*optimality && !*widths && !*atpgFlag && !*sessions && !*statsFlag && !*verifyFlag && !*objectiveFlag
 	run := func(err error) {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
@@ -118,6 +119,61 @@ func main() {
 	if all || *verifyFlag {
 		run(verifyTable())
 	}
+	if all || *objectiveFlag {
+		run(objectiveTable())
+	}
+}
+
+// objectiveTable is an extension: the full Pareto front of every
+// benchmark over (extra area, test sessions, peak test power), with the
+// area-minimal member cross-checked against the single-objective search
+// — the front must start exactly where Table II's minimal-area solution
+// sits. Any disagreement, front verification failure, or inexact front
+// is a non-zero exit.
+func objectiveTable() error {
+	t := report.NewTable("Multi-objective trade-off — Pareto fronts over area / test time / peak power",
+		"DFG", "front", "extra area", "sessions", "peak power", "overhead", "BIST styles")
+	for _, b := range benchdata.All() {
+		d, mods, err := bistpath.Benchmark(b.Name)
+		if err != nil {
+			return err
+		}
+		res, err := d.SynthesizePareto(mods, bistpath.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		rep, err := res.VerifyPareto(context.Background(), bistpath.VerifyOptions{})
+		if err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return rep.Err()
+		}
+		single, err := d.Synthesize(mods, bistpath.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		if got, want := res.Pareto[0].BISTArea, single.BISTArea; got != want {
+			return fmt.Errorf("%s: area-minimal front member has BIST area %d, Table II solution %d", b.Name, got, want)
+		}
+		if got, want := res.Pareto[0].StyleSummary(), single.StyleSummary(); got != want {
+			return fmt.Errorf("%s: area-minimal front member styles %q, Table II solution %q", b.Name, got, want)
+		}
+		for i, pt := range res.Pareto {
+			name := ""
+			if i == 0 {
+				name = b.Name
+			}
+			t.AddRowf(name, fmt.Sprintf("%d/%d", i+1, len(res.Pareto)),
+				pt.Cost.Area, pt.Cost.TestTime, pt.Cost.PeakPower,
+				fmt.Sprintf("%.2f%%", pt.OverheadPct), pt.StyleSummary())
+		}
+	}
+	fmt.Println(t)
+	fmt.Println("front 1 is the minimal-area plan of Table II; later members trade area for")
+	fmt.Println("fewer sessions or lower peak power (enumeration-verified non-dominated sets).")
+	fmt.Println()
+	return nil
 }
 
 // verifyTable runs the differential verification harness on every

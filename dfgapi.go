@@ -155,6 +155,22 @@ func (d *DFG) Synthesize(opToModule map[string]string, cfg Config) (*Result, err
 	return d.SynthesizeCtx(context.Background(), opToModule, cfg)
 }
 
+// SynthesizeParetoCtx is SynthesizeCtx with cfg.Objective forced to
+// ParetoFront: the BIST search enumerates every feasible plan and the
+// Result carries the full non-dominated set over (extra area, test
+// sessions, peak test power) in Result.Pareto, with the area-minimal
+// front member reported as the primary plan. Pareto runs always search
+// (the cache stores single plans, so it is bypassed).
+func (d *DFG) SynthesizeParetoCtx(ctx context.Context, opToModule map[string]string, cfg Config) (*Result, error) {
+	cfg.Objective = ParetoFront
+	return d.SynthesizeCtx(ctx, opToModule, cfg)
+}
+
+// SynthesizePareto is SynthesizeParetoCtx without cancellation.
+func (d *DFG) SynthesizePareto(opToModule map[string]string, cfg Config) (*Result, error) {
+	return d.SynthesizeParetoCtx(context.Background(), opToModule, cfg)
+}
+
 // SynthesizeAuto is SynthesizeCtx with automatic module binding and no
 // cancellation.
 func (d *DFG) SynthesizeAuto(cfg Config) (*Result, error) {

@@ -34,6 +34,17 @@ var (
 	// directory cannot be created or written. The in-memory layer never
 	// fails; a Cache constructed without a Dir cannot return this.
 	ErrCacheDir = errors.New("bistpath: cache directory unavailable")
+
+	// ErrBadObjective is returned by synthesis (in the validate phase)
+	// for a malformed multi-objective configuration: an unknown
+	// Config.Objective value, negative Weights or negative Power
+	// entries. ParseObjective wraps it for unknown objective names.
+	ErrBadObjective = errors.New("bistpath: invalid objective configuration")
+
+	// ErrNoPareto is returned by Result.VerifyPareto on a Result that
+	// does not carry a Pareto front (any objective other than
+	// ParetoFront, or a cache-served copy).
+	ErrNoPareto = errors.New("bistpath: result has no Pareto front")
 )
 
 // SynthesisError attributes a synthesis failure to the pipeline phase

@@ -24,6 +24,10 @@ type Plan struct {
 	Sessions   [][]string            // modules tested concurrently, per session
 	ExtraArea  int                   // gate equivalents added by register upgrades
 	Exact      bool                  // true if found by exhaustive branch & bound
+	// Cost is the plan's multi-objective cost vector. It is populated by
+	// OptimizePareto (and recomputable via PlanCost); the pure-area
+	// search leaves it zero, keeping that path untouched.
+	Cost CostVector
 }
 
 // StyleCount returns how many registers carry each non-normal style.
@@ -78,6 +82,11 @@ type Options struct {
 	// run essentially allocation-free. One Optimize call at a time per
 	// Scratch.
 	Scratch *Scratch
+	// Power carries per-module active-power weight overrides for the
+	// multi-objective search (see PowerWeights); modules absent from the
+	// map use the area-proportional default. The pure-area search
+	// ignores it.
+	Power map[string]int
 }
 
 // Metrics reports how hard one OptimizeCtx search worked. Every field is

@@ -1,0 +1,247 @@
+package bist
+
+import (
+	"context"
+	"testing"
+
+	"bistpath/internal/area"
+	"bistpath/internal/benchdata"
+)
+
+func optimizeFront(t *testing.T, b *benchdata.Benchmark) ([]*Plan, *Plan) {
+	t.Helper()
+	dp, _, _ := buildBench(t, b, false)
+	opts := DefaultOptions(8)
+	front, err := OptimizePareto(context.Background(), dp, opts)
+	if err != nil {
+		t.Fatalf("%s: OptimizePareto: %v", b.Name, err)
+	}
+	single, err := Optimize(dp, DefaultOptions(8))
+	if err != nil {
+		t.Fatalf("%s: Optimize: %v", b.Name, err)
+	}
+	return front, single
+}
+
+func TestParetoFrontBenchmarks(t *testing.T) {
+	for _, b := range benchdata.All() {
+		front, single := optimizeFront(t, b)
+		if len(front) == 0 {
+			t.Fatalf("%s: empty front", b.Name)
+		}
+		for _, p := range front {
+			if !p.Exact {
+				t.Errorf("%s: front member %v not exact", b.Name, p.Cost)
+			}
+		}
+		// Canonical order: strictly increasing lexicographically (which
+		// also implies all vectors are distinct).
+		for i := 1; i < len(front); i++ {
+			if !front[i-1].Cost.Less(front[i].Cost) {
+				t.Errorf("%s: front not in strict lexicographic order: %v then %v",
+					b.Name, front[i-1].Cost, front[i].Cost)
+			}
+		}
+		// Mutual non-domination.
+		for i, p := range front {
+			for j, q := range front {
+				if i != j && p.Cost.Dominates(q.Cost) {
+					t.Errorf("%s: front member %v dominates member %v", b.Name, p.Cost, q.Cost)
+				}
+			}
+		}
+		// The area-minimal member is the single-objective plan: same
+		// area and the same embedding choice (the canonical depth-first
+		// tie-break is shared between the two searches).
+		if front[0].Cost.Area != single.ExtraArea {
+			t.Errorf("%s: area-minimal front member area %d, single-objective %d",
+				b.Name, front[0].Cost.Area, single.ExtraArea)
+		}
+		if len(front[0].Embeddings) != len(single.Embeddings) {
+			t.Fatalf("%s: embedding count mismatch", b.Name)
+		}
+		for m, e := range single.Embeddings {
+			if front[0].Embeddings[m] != e {
+				t.Errorf("%s: module %s: front plan %v, single-objective plan %v",
+					b.Name, m, front[0].Embeddings[m], e)
+			}
+		}
+	}
+}
+
+func TestParetoCostConsistency(t *testing.T) {
+	for _, b := range benchdata.All() {
+		dp, _, _ := buildBench(t, b, false)
+		front, err := OptimizePareto(context.Background(), dp, DefaultOptions(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		power := PowerWeights(area.Default(8), dp, nil)
+		for _, p := range front {
+			if err := p.Validate(dp); err != nil {
+				t.Errorf("%s: front member invalid: %v", b.Name, err)
+			}
+			if got := PlanCost(p, power); got != p.Cost {
+				t.Errorf("%s: PlanCost %v != stored Cost %v", b.Name, got, p.Cost)
+			}
+			if p.Cost.Area != p.ExtraArea {
+				t.Errorf("%s: Cost.Area %d != ExtraArea %d", b.Name, p.Cost.Area, p.ExtraArea)
+			}
+			if p.Cost.TestTime != len(p.Sessions) {
+				t.Errorf("%s: Cost.TestTime %d != %d sessions", b.Name, p.Cost.TestTime, len(p.Sessions))
+			}
+		}
+	}
+}
+
+func TestWeightedBest(t *testing.T) {
+	front, _ := optimizeFront(t, benchdata.Paulin())
+	if WeightedBest(nil, 1, 1, 1) != nil {
+		t.Fatal("WeightedBest(nil) != nil")
+	}
+	// Pure area weights select the area-minimal (first) member.
+	if got := WeightedBest(front, 1, 0, 0); got != front[0] {
+		t.Errorf("area-only weights picked %v, want %v", got.Cost, front[0].Cost)
+	}
+	// A dominant test-time weight selects a member with the minimal
+	// session count on the front.
+	minTT := front[0].Cost.TestTime
+	for _, p := range front {
+		if p.Cost.TestTime < minTT {
+			minTT = p.Cost.TestTime
+		}
+	}
+	if got := WeightedBest(front, 1, 1_000_000, 0); got.Cost.TestTime != minTT {
+		t.Errorf("time-heavy weights picked %v, want %d sessions", got.Cost, minTT)
+	}
+	// The winner under any non-negative weights must match a manual
+	// argmin over the front.
+	for _, w := range [][3]int{{1, 1, 1}, {3, 50, 2}, {0, 1, 0}, {0, 0, 1}} {
+		got := WeightedBest(front, w[0], w[1], w[2])
+		for _, p := range front {
+			if p.Cost.Weighted(w[0], w[1], w[2]) < got.Cost.Weighted(w[0], w[1], w[2]) {
+				t.Errorf("weights %v: %v beats reported winner %v", w, p.Cost, got.Cost)
+			}
+		}
+	}
+}
+
+func TestPowerWeights(t *testing.T) {
+	dp, _, _ := buildBench(t, benchdata.Ex1(), false)
+	model := area.Default(8)
+	def := PowerWeights(model, dp, nil)
+	if len(def) != len(dp.Modules) {
+		t.Fatalf("weights for %d modules, want %d", len(def), len(dp.Modules))
+	}
+	for _, m := range dp.Modules {
+		if def[m.Name] != model.ModuleArea(m.Kinds) {
+			t.Errorf("module %s default weight %d, want area-proportional %d",
+				m.Name, def[m.Name], model.ModuleArea(m.Kinds))
+		}
+	}
+	first := dp.Modules[0].Name
+	over := PowerWeights(model, dp, map[string]int{first: 7})
+	if over[first] != 7 {
+		t.Errorf("override ignored: %d", over[first])
+	}
+	for _, m := range dp.Modules[1:] {
+		if over[m.Name] != def[m.Name] {
+			t.Errorf("module %s lost its default under a partial override", m.Name)
+		}
+	}
+}
+
+func TestParetoPowerOverrideChangesObjective(t *testing.T) {
+	// With every module weighing the same, peak power is proportional to
+	// the largest session, so the front collapses differently than under
+	// the default weights; the search must still produce a valid,
+	// non-dominated front.
+	dp, _, _ := buildBench(t, benchdata.Paulin(), false)
+	uniform := make(map[string]int, len(dp.Modules))
+	for _, m := range dp.Modules {
+		uniform[m.Name] = 1
+	}
+	opts := DefaultOptions(8)
+	opts.Power = uniform
+	front, err := OptimizePareto(context.Background(), dp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range front {
+		if err := p.Validate(dp); err != nil {
+			t.Fatal(err)
+		}
+		if got := PlanCost(p, uniform); got != p.Cost {
+			t.Errorf("PlanCost %v != Cost %v", got, p.Cost)
+		}
+		// Peak power under uniform unit weights is the largest session
+		// size, bounded by the module count.
+		if p.Cost.PeakPower > len(dp.Modules) || p.Cost.PeakPower < 1 {
+			t.Errorf("implausible uniform peak power %d", p.Cost.PeakPower)
+		}
+	}
+}
+
+func TestParetoNodeBudgetInexact(t *testing.T) {
+	dp, _, _ := buildBench(t, benchdata.Paulin(), false)
+	opts := DefaultOptions(8)
+	opts.NodeBudget = 50 // far below the full walk
+	front, err := OptimizePareto(context.Background(), dp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 {
+		t.Fatal("budget-bounded search returned no plans")
+	}
+	for _, p := range front {
+		if p.Exact {
+			t.Error("plan claims exactness despite an exhausted budget")
+		}
+		if err := p.Validate(dp); err != nil {
+			t.Error(err)
+		}
+	}
+	for i, p := range front {
+		for j, q := range front {
+			if i != j && p.Cost.Dominates(q.Cost) {
+				t.Errorf("inexact front member %v dominates %v", p.Cost, q.Cost)
+			}
+		}
+	}
+}
+
+func TestParetoCancellation(t *testing.T) {
+	dp, _, _ := buildBench(t, benchdata.Paulin(), false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := OptimizePareto(ctx, dp, DefaultOptions(8)); err != context.Canceled {
+		t.Fatalf("cancelled search returned %v, want context.Canceled", err)
+	}
+}
+
+func TestCostVectorDominates(t *testing.T) {
+	a := CostVector{10, 2, 5}
+	cases := []struct {
+		b    CostVector
+		want bool
+	}{
+		{CostVector{10, 2, 5}, false}, // equal: no domination
+		{CostVector{11, 2, 5}, true},
+		{CostVector{10, 3, 5}, true},
+		{CostVector{10, 2, 6}, true},
+		{CostVector{11, 3, 6}, true},
+		{CostVector{9, 2, 5}, false},  // better area
+		{CostVector{11, 1, 5}, false}, // trade-off
+	}
+	for _, c := range cases {
+		if got := a.Dominates(c.b); got != c.want {
+			t.Errorf("%v.Dominates(%v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+	if !a.Less(CostVector{10, 2, 6}) || (CostVector{10, 2, 6}).Less(a) {
+		t.Error("lexicographic order broken on the last component")
+	}
+}

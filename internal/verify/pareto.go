@@ -1,0 +1,268 @@
+package verify
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"bistpath/internal/area"
+	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
+	"bistpath/internal/dfg"
+	"bistpath/internal/interconnect"
+	"bistpath/internal/modassign"
+)
+
+// The Pareto checks follow the package's independence rule: every cost
+// component is re-derived here from the netlist and the raw embedding
+// choice alone — styles from first principles (deriveStyles), the test
+// schedule from a re-implemented first-fit over the conflict relation,
+// peak power from the schedule and the weight map — never by calling
+// bist.PlanCost or bist.ScheduleSessions.
+
+// paretoStyles derives register styles from a bare embedding choice,
+// without a Plan (the oracle has none while walking combinations).
+func paretoStyles(embs map[string]bist.Embedding) map[string]area.Style {
+	return deriveStyles(&bist.Plan{Embeddings: embs})
+}
+
+// paretoSchedule is an independent re-implementation of the session
+// scheduler's specification: first-fit coloring of the conflict relation
+// over modules sorted by name. Two modules conflict when they share a
+// signature register, or when a register generates for one and compacts
+// for the other without being a CBILBO.
+func paretoSchedule(embs map[string]bist.Embedding, styles map[string]area.Style) [][]string {
+	mods := make([]string, 0, len(embs))
+	for m := range embs {
+		mods = append(mods, m)
+	}
+	sort.Strings(mods)
+	conflict := func(a, b string) bool {
+		ea, eb := embs[a], embs[b]
+		if ea.Tail == eb.Tail {
+			return true
+		}
+		crossed := func(x, y bist.Embedding) bool {
+			for _, h := range []string{x.HeadL, x.HeadR} {
+				if h == "" || interconnect.IsPad(h) {
+					continue
+				}
+				if h == y.Tail && styles[h] != area.CBILBO {
+					return true
+				}
+			}
+			return false
+		}
+		return crossed(ea, eb) || crossed(eb, ea)
+	}
+	var sessions [][]string
+	for _, m := range mods {
+		placed := false
+		for i, sess := range sessions {
+			ok := true
+			for _, other := range sess {
+				if conflict(m, other) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				sessions[i] = append(sessions[i], m)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			sessions = append(sessions, []string{m})
+		}
+	}
+	return sessions
+}
+
+// paretoVector recomputes a cost vector from a bare embedding choice:
+// upgrade area from derived styles, test time as the independent
+// schedule's length, peak power as the largest per-session weight sum.
+func paretoVector(embs map[string]bist.Embedding, model area.Model, power map[string]int) bist.CostVector {
+	styles := paretoStyles(embs)
+	cost := 0
+	for _, s := range styles {
+		cost += model.StyleExtra(s)
+	}
+	sessions := paretoSchedule(embs, styles)
+	peak := 0
+	for _, sess := range sessions {
+		sum := 0
+		for _, m := range sess {
+			sum += power[m]
+		}
+		if sum > peak {
+			peak = sum
+		}
+	}
+	return bist.CostVector{Area: cost, TestTime: len(sessions), PeakPower: peak}
+}
+
+// CheckFront validates a Pareto front against a full allocation: every
+// member passes the structural invariants, carries the cost vector this
+// package independently recomputes for it, the front is mutually
+// non-dominated, sorted in strictly increasing lexicographic order, and
+// its area-minimal member achieves the best area on the front. One
+// violation string per broken property; empty = clean. mb may be nil
+// (its invariant families are then skipped, as in Invariants).
+func CheckFront(g *dfg.Graph, mb *modassign.Binding, dp *datapath.Datapath, front []*bist.Plan, power map[string]int, model area.Model, allowPads bool) []string {
+	var vs []string
+	if len(front) == 0 {
+		return []string{"pareto: empty front"}
+	}
+	if model.Width == 0 {
+		model = area.Default(dp.Width)
+	}
+	for i, p := range front {
+		for _, v := range Invariants(g, mb, dp, p, model, allowPads) {
+			vs = append(vs, fmt.Sprintf("pareto[%d]: %s", i, v))
+		}
+		if got := paretoVector(p.Embeddings, model, power); got != p.Cost {
+			vs = append(vs, fmt.Sprintf("pareto[%d]: plan claims %v, independent recompute says %v", i, p.Cost, got))
+		}
+		if p.Cost.TestTime != len(p.Sessions) {
+			vs = append(vs, fmt.Sprintf("pareto[%d]: TestTime %d but %d sessions", i, p.Cost.TestTime, len(p.Sessions)))
+		}
+	}
+	for i := 1; i < len(front); i++ {
+		if !front[i-1].Cost.Less(front[i].Cost) {
+			vs = append(vs, fmt.Sprintf("pareto: members %d,%d out of lexicographic order: %v then %v",
+				i-1, i, front[i-1].Cost, front[i].Cost))
+		}
+	}
+	for i, p := range front {
+		for j, q := range front {
+			if i != j && p.Cost.Dominates(q.Cost) {
+				vs = append(vs, fmt.Sprintf("pareto: member %v dominates member %v", p.Cost, q.Cost))
+			}
+		}
+		if p.Cost.Area < front[0].Cost.Area {
+			vs = append(vs, fmt.Sprintf("pareto: member %d area %d beats the claimed area-minimal member (%d)",
+				i, p.Cost.Area, front[0].Cost.Area))
+		}
+	}
+	return vs
+}
+
+// ParetoOracleResult reports the exhaustive multi-objective enumeration.
+type ParetoOracleResult struct {
+	// Front is the true non-dominated vector set over every combination
+	// of per-module embeddings, sorted lexicographically.
+	Front []bist.CostVector
+	// Combos is the cartesian product size (saturated at 2*cap).
+	Combos int64
+	// Feasible is false when a module has no embedding or the product
+	// exceeds the cap; Front is then nil.
+	Feasible bool
+}
+
+// ParetoOracle exhaustively enumerates every combination of per-module
+// BIST embeddings, evaluates the full cost vector of each with this
+// package's independent recompute, and returns the exact non-dominated
+// set — the ground truth the multi-objective search must match
+// vector-for-vector. If the product exceeds maxCombos the oracle
+// declines to run.
+func ParetoOracle(ctx context.Context, dp *datapath.Datapath, model area.Model, power map[string]int, allowPads bool, maxCombos int64) (ParetoOracleResult, error) {
+	if model.Width == 0 {
+		model = area.Default(dp.Width)
+	}
+	lists := make([][]bist.Embedding, 0, len(dp.Modules))
+	names := make([]string, 0, len(dp.Modules))
+	combos := int64(1)
+	for _, m := range dp.Modules {
+		embs := moduleEmbeddings(dp, m, allowPads)
+		if len(embs) == 0 {
+			return ParetoOracleResult{}, nil
+		}
+		lists = append(lists, embs)
+		names = append(names, m.Name)
+		if combos <= 2*maxCombos {
+			combos *= int64(len(embs))
+		}
+	}
+	res := ParetoOracleResult{Combos: combos}
+	if maxCombos > 0 && combos > maxCombos {
+		return res, nil
+	}
+	res.Feasible = true
+
+	var archive []bist.CostVector
+	offer := func(v bist.CostVector) {
+		for _, a := range archive {
+			if a == v || a.Dominates(v) {
+				return
+			}
+		}
+		kept := archive[:0]
+		for _, a := range archive {
+			if !v.Dominates(a) {
+				kept = append(kept, a)
+			}
+		}
+		archive = append(kept, v)
+	}
+
+	cur := make(map[string]bist.Embedding, len(lists))
+	var leafErr error
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if err := ctx.Err(); err != nil {
+			leafErr = err
+			return false
+		}
+		if i == len(lists) {
+			offer(paretoVector(cur, model, power))
+			return true
+		}
+		for _, e := range lists[i] {
+			cur[names[i]] = e
+			if !walk(i + 1) {
+				return false
+			}
+		}
+		delete(cur, names[i])
+		return true
+	}
+	if !walk(0) {
+		return res, leafErr
+	}
+	sort.Slice(archive, func(i, j int) bool { return archive[i].Less(archive[j]) })
+	res.Front = archive
+	return res, nil
+}
+
+// CheckFrontAgainstOracle compares a search-produced front against the
+// oracle's ground truth: the vector multisets must be identical. It
+// returns nothing to check (nil) when the oracle declined.
+func CheckFrontAgainstOracle(front []*bist.Plan, oracle ParetoOracleResult) []string {
+	if !oracle.Feasible {
+		return nil
+	}
+	var vs []string
+	if len(front) != len(oracle.Front) {
+		vs = append(vs, fmt.Sprintf("pareto: search front has %d vectors, oracle says %d", len(front), len(oracle.Front)))
+	}
+	got := make(map[bist.CostVector]bool, len(front))
+	for _, p := range front {
+		got[p.Cost] = true
+	}
+	for _, v := range oracle.Front {
+		if !got[v] {
+			vs = append(vs, fmt.Sprintf("pareto: oracle vector %v missing from the search front", v))
+		}
+	}
+	want := make(map[bist.CostVector]bool, len(oracle.Front))
+	for _, v := range oracle.Front {
+		want[v] = true
+	}
+	for _, p := range front {
+		if !want[p.Cost] {
+			vs = append(vs, fmt.Sprintf("pareto: search vector %v is not on the oracle front (dominated or infeasible)", p.Cost))
+		}
+	}
+	return vs
+}

@@ -31,7 +31,35 @@ type resultJSON struct {
 	StyleCounts map[string]int `json:"style_counts"`
 	// Test session schedule: module names tested concurrently.
 	Sessions [][]string `json:"sessions"`
-	Stats    statsJSON  `json:"stats"`
+	// Multi-objective fields, present only for the WeightedSum and
+	// ParetoFront objectives (omitted entirely under MinArea, keeping
+	// its documents byte-identical across releases; additive fields are
+	// not a schema version bump).
+	Objective string            `json:"objective,omitempty"` // "weighted" | "pareto"
+	Weights   *weightsJSON      `json:"weights,omitempty"`   // WeightedSum only
+	Cost      *costVectorJSON   `json:"cost,omitempty"`
+	Pareto    []paretoPointJSON `json:"pareto,omitempty"` // ParetoFront only
+	Stats     statsJSON         `json:"stats"`
+}
+
+type costVectorJSON struct {
+	Area      int `json:"area"`
+	TestTime  int `json:"test_time"`
+	PeakPower int `json:"peak_power"`
+}
+
+type weightsJSON struct {
+	Area      int `json:"area"`
+	TestTime  int `json:"test_time"`
+	PeakPower int `json:"peak_power"`
+}
+
+type paretoPointJSON struct {
+	Cost        costVectorJSON `json:"cost"`
+	BISTArea    int            `json:"bist_area"`
+	OverheadPct float64        `json:"overhead_pct"`
+	StyleCounts map[string]int `json:"style_counts"`
+	Sessions    [][]string     `json:"sessions"`
 }
 
 type registerJSON struct {
@@ -137,6 +165,22 @@ func (r *Result) JSON() ([]byte, error) {
 	}
 	if doc.StyleCounts == nil {
 		doc.StyleCounts = map[string]int{}
+	}
+	if r.Cost != nil {
+		doc.Objective = r.cfg.Objective.String()
+		doc.Cost = &costVectorJSON{Area: r.Cost.Area, TestTime: r.Cost.TestTime, PeakPower: r.Cost.PeakPower}
+		if r.cfg.Objective == WeightedSum {
+			doc.Weights = &weightsJSON{Area: r.cfg.Weights.Area, TestTime: r.cfg.Weights.TestTime, PeakPower: r.cfg.Weights.PeakPower}
+		}
+		for _, pt := range r.Pareto {
+			doc.Pareto = append(doc.Pareto, paretoPointJSON{
+				Cost:        costVectorJSON(pt.Cost),
+				BISTArea:    pt.BISTArea,
+				OverheadPct: pt.OverheadPct,
+				StyleCounts: pt.StyleCounts,
+				Sessions:    pt.Sessions,
+			})
+		}
 	}
 	for _, reg := range r.Registers {
 		doc.Registers = append(doc.Registers, registerJSON(reg))

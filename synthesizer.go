@@ -118,6 +118,19 @@ func (s *Synthesizer) Synthesize(ctx context.Context, d *DFG, opToModule map[str
 	return s.synthesizeDFG(ctx, d, opToModule, s.cfg)
 }
 
+// SynthesizePareto runs the full pipeline with the handle's
+// configuration under the ParetoFront objective: the Result carries the
+// non-dominated plan set in Result.Pareto, exactly as
+// DFG.SynthesizeParetoCtx.
+func (s *Synthesizer) SynthesizePareto(ctx context.Context, d *DFG, opToModule map[string]string) (*Result, error) {
+	if d == nil {
+		return nil, ErrNoDFG
+	}
+	cfg := s.cfg
+	cfg.Objective = ParetoFront
+	return s.synthesizeDFG(ctx, d, opToModule, cfg)
+}
+
 // SynthesizeAll synthesizes every job on a bounded worker pool drawing
 // scratch arenas from this handle, with the exact semantics of the free
 // SynthesizeAll (job-order results, prompt cancellation, per-job panic

@@ -2,9 +2,12 @@ package bistpath
 
 import (
 	"context"
+	"fmt"
+	"strings"
 
 	"bistpath/internal/area"
 	"bistpath/internal/benchdata"
+	"bistpath/internal/bist"
 	"bistpath/internal/verify"
 )
 
@@ -120,6 +123,98 @@ func (r *Result) Verify(ctx context.Context, opts VerifyOptions) (*VerifyReport,
 		inner:           rep,
 	}
 	return out, err
+}
+
+// ParetoVerifyReport is the outcome of Result.VerifyPareto. Violations
+// is empty iff every executed check passed.
+type ParetoVerifyReport struct {
+	Design     string   `json:"design"`
+	Violations []string `json:"violations"`
+	FrontSize  int      `json:"front_size"`
+
+	// OracleRan reports whether the exhaustive enumeration ran; when it
+	// did, OracleCombos is the combination count it walked and
+	// OracleFront the size of the ground-truth non-dominated set.
+	OracleRan    bool  `json:"oracle_ran"`
+	OracleCombos int64 `json:"oracle_combos"`
+	OracleFront  int   `json:"oracle_front"`
+}
+
+// OK reports whether every executed check passed.
+func (r *ParetoVerifyReport) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when the report is clean, or an error summarizing the
+// violations.
+func (r *ParetoVerifyReport) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("bistpath: pareto verification of %s found %d violations:\n  %s",
+		r.Design, len(r.Violations), strings.Join(r.Violations, "\n  "))
+}
+
+// VerifyPareto runs the multi-objective verification harness against a
+// ParetoFront result: every front member must pass the full structural
+// invariants and carry the cost vector the harness independently
+// recomputes (styles from raw duties, a re-implemented session
+// scheduler, peak power from the weight map), the front must be mutually
+// non-dominated in canonical order — and, when the embedding space fits
+// under opts.EmbeddingCap and every member is Exact, an exhaustive
+// enumeration must reproduce the front's vector set exactly.
+//
+// Results without a front (any other objective, or a cache-served copy)
+// fail with ErrNoPareto; other errors report infrastructure failures
+// (context cancellation). Verification failures are collected in
+// ParetoVerifyReport.Violations.
+func (r *Result) VerifyPareto(ctx context.Context, opts VerifyOptions) (*ParetoVerifyReport, error) {
+	if len(r.paretoPlans) == 0 {
+		return nil, fmt.Errorf("%w (objective %s)", ErrNoPareto, r.cfg.Objective)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	model := area.Default(r.Width)
+	power := bist.PowerWeights(model, r.dp, r.cfg.Power)
+	rep := &ParetoVerifyReport{Design: r.Name, FrontSize: len(r.paretoPlans)}
+	rep.Violations = verify.CheckFront(r.dp.Graph(), r.mb, r.dp, r.paretoPlans, power, model, r.cfg.AllowPadTPG)
+
+	// The published Pareto points must mirror the underlying plans.
+	if len(r.Pareto) != len(r.paretoPlans) {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("pareto: result publishes %d points for %d plans", len(r.Pareto), len(r.paretoPlans)))
+	} else {
+		for i, pt := range r.Pareto {
+			if bist.CostVector(pt.Cost) != r.paretoPlans[i].Cost {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("pareto: point %d publishes %v, plan has %v", i, pt.Cost, r.paretoPlans[i].Cost))
+			}
+		}
+	}
+
+	exact := true
+	for _, p := range r.paretoPlans {
+		if !p.Exact {
+			exact = false
+			break
+		}
+	}
+	comboCap := opts.EmbeddingCap
+	if comboCap == 0 {
+		comboCap = 1 << 16 // each oracle leaf schedules sessions, so the default cap is tighter than Verify's
+	}
+	if exact && comboCap > 0 {
+		oracle, err := verify.ParetoOracle(ctx, r.dp, model, power, r.cfg.AllowPadTPG, comboCap)
+		if err != nil {
+			return nil, err
+		}
+		if oracle.Feasible {
+			rep.OracleRan = true
+			rep.OracleCombos = oracle.Combos
+			rep.OracleFront = len(oracle.Front)
+			rep.Violations = append(rep.Violations, verify.CheckFrontAgainstOracle(r.paretoPlans, oracle)...)
+		}
+	}
+	return rep, ctx.Err()
 }
 
 // RandomDesign generates a deterministic random scheduled DFG and
