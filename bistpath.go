@@ -97,6 +97,53 @@ func ParseObjective(s string) (Objective, error) {
 	return MinArea, fmt.Errorf("%w: unknown objective %q (want area, weighted or pareto)", ErrBadObjective, s)
 }
 
+// Search selects the BIST search strategy for the MinArea objective.
+type Search int
+
+// BIST search strategies.
+const (
+	// SearchExact always runs the exhaustive branch and bound — the
+	// default, and the paper's algorithm. Past the node budget it
+	// degrades to the greedy heuristic (Result.PlanExact reports which);
+	// it never consults the stochastic fields of Config.
+	SearchExact Search = iota
+	// SearchAuto picks per design: exact when the embedding search space
+	// fits under the exact-feasibility threshold (2^bist.AutoExactBits
+	// combinations), stochastic otherwise. All five paper benchmarks
+	// resolve to exact.
+	SearchAuto
+	// SearchStochastic always runs the seeded stochastic search: a
+	// node-budgeted exact probe, then a genetic search over embedding
+	// assignments with a simulated-annealing polish. Deterministic for a
+	// fixed (DFG, Config, Seed) at any worker count, as long as
+	// Config.TimeBudget does not truncate the run. MinArea only.
+	SearchStochastic
+)
+
+func (s Search) String() string {
+	switch s {
+	case SearchAuto:
+		return "auto"
+	case SearchStochastic:
+		return "stochastic"
+	}
+	return "exact"
+}
+
+// ParseSearch converts the textual strategy names used by the
+// command-line tools ("exact", "auto", "stochastic") back to a Search.
+func ParseSearch(s string) (Search, error) {
+	switch s {
+	case "exact", "":
+		return SearchExact, nil
+	case "auto":
+		return SearchAuto, nil
+	case "stochastic":
+		return SearchStochastic, nil
+	}
+	return SearchExact, fmt.Errorf("%w: unknown search %q (want exact, auto or stochastic)", ErrBadSearch, s)
+}
+
 // Weights are the non-negative coefficients of the WeightedSum
 // objective. The zero value is normalized to the balanced {1, 1, 1}.
 type Weights struct {
@@ -176,6 +223,25 @@ type Config struct {
 	// area model — see the README's power model notes). Ignored by
 	// MinArea.
 	Power map[string]int
+	// Search selects the BIST search strategy under the MinArea
+	// objective: SearchExact (the default — byte-identical behavior to
+	// releases without stochastic search), SearchAuto or
+	// SearchStochastic. The multi-objective objectives always enumerate
+	// exhaustively; combining them with SearchStochastic is rejected in
+	// the validate phase.
+	Search Search
+	// Seed seeds the stochastic search's random source (0 = seed 1).
+	// Identical (DFG, Config, Seed) yields an identical Result at any
+	// Workers value. Ignored by SearchExact.
+	Seed int64
+	// TimeBudget caps the stochastic search's wall time (0 = none).
+	// Where a wall-clock budget truncates the run is timing-dependent,
+	// so budget-limited stochastic runs are not reproducible across
+	// machines and bypass Config.Cache. Ignored by SearchExact.
+	TimeBudget time.Duration
+	// MaxGenerations caps the stochastic search's genetic generations
+	// (0 = the search's default). Ignored by SearchExact.
+	MaxGenerations int
 	// Observer, when non-nil, receives structured phase and progress
 	// events while the run executes (see Observer's documentation for
 	// the concurrency contract). Nil costs nothing.
@@ -267,6 +333,13 @@ type Result struct {
 // NumBISTRegisters returns how many registers were modified for test.
 func (r *Result) NumBISTRegisters() int { return r.plan.NumBISTRegisters() }
 
+// PlanExact reports whether the BIST plan is provably area-optimal: the
+// exact branch and bound (or the stochastic search's exact probe)
+// completed its enumeration. Stochastic plans past the probe, and exact
+// runs that fell back to the greedy heuristic beyond the node budget,
+// report false.
+func (r *Result) PlanExact() bool { return r.plan.Exact }
+
 // NumRegisters returns the total register count.
 func (r *Result) NumRegisters() int { return len(r.Registers) }
 
@@ -352,6 +425,26 @@ func validateObjective(cfg Config) error {
 	return nil
 }
 
+// validateSearch rejects malformed search configuration: an unknown
+// Config.Search value, a stochastic search paired with a multi-objective
+// objective (the Pareto enumeration is inherently exhaustive), or
+// negative budgets.
+func validateSearch(cfg Config) error {
+	if cfg.Search < SearchExact || cfg.Search > SearchStochastic {
+		return fmt.Errorf("%w: unknown search value %d", ErrBadSearch, int(cfg.Search))
+	}
+	if cfg.Search == SearchStochastic && cfg.Objective != MinArea {
+		return fmt.Errorf("%w: stochastic search supports the area objective only (objective %s)", ErrBadSearch, cfg.Objective)
+	}
+	if cfg.TimeBudget < 0 {
+		return fmt.Errorf("%w: negative time budget %v", ErrBadSearch, cfg.TimeBudget)
+	}
+	if cfg.MaxGenerations < 0 {
+		return fmt.Errorf("%w: negative generation cap %d", ErrBadSearch, cfg.MaxGenerations)
+	}
+	return nil
+}
+
 // attachPareto publishes a ParetoFront run's plan set on the Result:
 // the reporting summaries in Pareto and the full plans for
 // VerifyPareto.
@@ -391,8 +484,13 @@ func synthesize(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Co
 	}
 	// Pareto-front runs bypass the cache: a cache entry persists a single
 	// plan, not a plan set (the area-only and weighted objectives cache
-	// normally, with the objective folded into the key).
-	if cfg.Cache != nil && cfg.Objective != ParetoFront {
+	// normally, with the objective folded into the key). Budget-truncated
+	// stochastic runs bypass it too — where the wall clock cuts the
+	// search off is not reproducible, so memoizing one arbitrary outcome
+	// under a semantic key would be a lie.
+	cacheable := cfg.Objective != ParetoFront &&
+		(cfg.Search == SearchExact || cfg.TimeBudget == 0)
+	if cfg.Cache != nil && cacheable {
 		return cfg.Cache.synthesize(ctx, g, mb, cfg, sc)
 	}
 	return synthesizeCore(ctx, g, mb, cfg, nil, sc)
@@ -454,6 +552,9 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 
 	if err := phase(PhaseValidate, &st.Validate, func() error {
 		if err := validateObjective(cfg); err != nil {
+			return err
+		}
+		if err := validateSearch(cfg); err != nil {
 			return err
 		}
 		if err := g.Validate(); err != nil {
@@ -557,7 +658,29 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 			}
 		}
 		if cfg.Objective == MinArea {
+			strategy := cfg.Search
+			if strategy == SearchAuto {
+				if bist.ExactFeasible(dp, cfg.AllowPadTPG) {
+					strategy = SearchExact
+				} else {
+					strategy = SearchStochastic
+				}
+			}
 			var err error
+			if strategy == SearchStochastic {
+				bopts.Seed = cfg.Seed
+				bopts.TimeBudget = cfg.TimeBudget
+				bopts.MaxGenerations = cfg.MaxGenerations
+				st.SearchStrategy = "stochastic"
+				plan, err = bist.OptimizeStochasticCtx(ctx, dp, bopts)
+				return err
+			}
+			if cfg.Search != SearchExact {
+				// Auto resolved to exact: record the resolution. A plain
+				// SearchExact config leaves the field empty so existing
+				// Results stay byte-identical.
+				st.SearchStrategy = "exact"
+			}
 			plan, err = bist.OptimizeCtx(ctx, dp, bopts)
 			return err
 		}
@@ -583,6 +706,11 @@ func synthesizeCore(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cf
 	st.IncumbentUpdates = bm.Incumbents
 	st.EmbeddingsEnumerated = bm.Embeddings
 	st.SearchWorkers = bm.Workers
+	st.Generations = bm.Generations
+	st.Evaluations = bm.Evaluations
+	for _, cp := range bm.Curve {
+		st.BestCurve = append(st.BestCurve, SearchCurvePoint{Generation: cp.Generation, Cost: cp.Cost})
+	}
 
 	res, err := assemble(g, mb, rb, dp, plan, sh, cfg)
 	if err != nil {

@@ -405,6 +405,16 @@ func cacheKey(g *dfg.Graph, mb *modassign.Binding, cfg Config) cache.Key {
 			sb.WriteByte('\n')
 		}
 	}
+	// The search strategy joins the key the same way: only when it
+	// departs from the default SearchExact, keeping every exact-config
+	// key bit-identical to earlier releases. Seed and the budgets are
+	// semantic for a stochastic run — different seeds legitimately cache
+	// different plans. (TimeBudget-truncated runs never reach cacheKey;
+	// synthesize routes them around the cache entirely.)
+	if cfg.Search != SearchExact {
+		fmt.Fprintf(&sb, "search %s\nseed %d\ngenerations %d\nbudget %d\n",
+			cfg.Search, cfg.Seed, cfg.MaxGenerations, int64(cfg.TimeBudget))
+	}
 
 	sb.WriteString("modules\n")
 	mods := append([]*modassign.Module(nil), mb.Modules...)

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bistpath/internal/dfg"
+)
+
+// generate runs dfgen with the given arguments and parses the textual
+// output back into a graph, so the tests check the full round trip.
+func generate(t *testing.T, args ...string) (string, *dfg.Graph) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	g, err := dfg.ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("run(%v) output does not parse: %v", args, err)
+	}
+	return buf.String(), g
+}
+
+// The same seed must yield byte-identical text: the scaling suite and
+// the nightly soak identify instances by (preset, seed) alone.
+func TestSeedDeterminism(t *testing.T) {
+	for _, preset := range []string{"", "s", "m", "l", "xl"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			args := []string{"-seed", fmt.Sprint(seed)}
+			if preset != "" {
+				args = append(args, "-preset", preset)
+			}
+			a, _ := generate(t, args...)
+			b, _ := generate(t, args...)
+			if a != b {
+				t.Errorf("preset %q seed %d: two runs differ", preset, seed)
+			}
+		}
+		one, _ := generate(t, append([]string{"-seed", "1"}, presetArgs(preset)...)...)
+		two, _ := generate(t, append([]string{"-seed", "2"}, presetArgs(preset)...)...)
+		if one == two {
+			t.Errorf("preset %q: seeds 1 and 2 collide", preset)
+		}
+	}
+}
+
+func presetArgs(p string) []string {
+	if p == "" {
+		return nil
+	}
+	return []string{"-preset", p}
+}
+
+// Preset shape properties: op counts in the advertised band, schedule
+// depth and input count matching the preset, only preset kinds drawn,
+// and strictly increasing size from S to XL.
+func TestPresetShapes(t *testing.T) {
+	want := map[string]struct {
+		minOps, maxOps int
+		steps, inputs  int
+		kinds          string
+	}{
+		"s":  {6, 18, 6, 4, "+-*&"},
+		"m":  {14, 56, 14, 6, "+-*/&|^<>"},
+		"l":  {30, 150, 30, 8, "+-*/&|^<>"},
+		"xl": {100, 500, 100, 10, "-/<>"},
+	}
+	prevMax := 0
+	for _, preset := range []string{"s", "m", "l", "xl"} {
+		w := want[preset]
+		maxSeen := 0
+		for seed := int64(1); seed <= 5; seed++ {
+			_, g := generate(t, "-preset", preset, "-seed", fmt.Sprint(seed))
+			ops := g.Ops()
+			if len(ops) < w.minOps || len(ops) > w.maxOps {
+				t.Errorf("preset %s seed %d: %d ops, want %d..%d", preset, seed, len(ops), w.minOps, w.maxOps)
+			}
+			if maxSeen < len(ops) {
+				maxSeen = len(ops)
+			}
+			if g.NumSteps() != w.steps {
+				t.Errorf("preset %s seed %d: %d steps, want %d", preset, seed, g.NumSteps(), w.steps)
+			}
+			if got := len(g.Inputs()); got != w.inputs {
+				t.Errorf("preset %s seed %d: %d inputs, want %d", preset, seed, got, w.inputs)
+			}
+			for _, op := range ops {
+				if !strings.Contains(w.kinds, string(op.Kind)) {
+					t.Errorf("preset %s seed %d: op %s has kind %q outside preset set %q",
+						preset, seed, op.Name, op.Kind, w.kinds)
+				}
+			}
+			if !g.Scheduled() {
+				t.Errorf("preset %s seed %d: graph not fully scheduled", preset, seed)
+			}
+		}
+		if maxSeen <= prevMax {
+			t.Errorf("preset %s: max ops %d not larger than previous preset's %d", preset, maxSeen, prevMax)
+		}
+		prevMax = maxSeen
+	}
+}
+
+// Explicit shape flags override the preset's values.
+func TestPresetOverride(t *testing.T) {
+	_, g := generate(t, "-preset", "s", "-steps", "9", "-seed", "4")
+	if g.NumSteps() != 9 {
+		t.Errorf("override: %d steps, want 9", g.NumSteps())
+	}
+	_, g = generate(t, "-preset", "m", "-kinds", "+", "-seed", "4")
+	for _, op := range g.Ops() {
+		if op.Kind != dfg.Add {
+			t.Errorf("override: op %s kind %q, want +", op.Name, op.Kind)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "xxl"}, &buf); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-kinds", "?"}, &buf); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}

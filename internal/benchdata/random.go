@@ -102,6 +102,42 @@ func Random(cfg RandomConfig) (*dfg.Graph, error) {
 	return g, nil
 }
 
+// Preset returns the calibrated generator shape for one of the scaling
+// suite's size classes (s, m, l, xl) with the given seed, or false for
+// an unknown name. The shapes are shared by cmd/dfgen's -preset flag and
+// scripts/scalingbench so both tools name the same instances:
+//
+//	s   ~12 ops  — well inside the exact search's comfort zone
+//	m   ~37 ops  — past the Auto exact-feasibility threshold
+//	l   ~93 ops  — the exact branch and bound exhausts its node budget
+//	xl  ~290 ops — hundreds of operations, stochastic only
+//
+// XL draws only non-commutative kinds: the interconnect binder caps the
+// free instances of a commutative module, and hundreds of commutative
+// ops funneled into few modules would exceed that cap.
+func Preset(name string, seed int64) (RandomConfig, bool) {
+	wide := []dfg.Kind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Div, dfg.And, dfg.Or, dfg.Xor, dfg.Lt, dfg.Gt}
+	var cfg RandomConfig
+	switch name {
+	case "s":
+		cfg = RandomConfig{Steps: 6, OpsPerStep: 3, Inputs: 4}
+	case "m":
+		cfg = RandomConfig{Steps: 14, OpsPerStep: 4, Inputs: 6, Kinds: wide}
+	case "l":
+		cfg = RandomConfig{Steps: 30, OpsPerStep: 5, Inputs: 8, Kinds: wide}
+	case "xl":
+		cfg = RandomConfig{Steps: 100, OpsPerStep: 5, Inputs: 10,
+			Kinds: []dfg.Kind{dfg.Sub, dfg.Div, dfg.Lt, dfg.Gt}}
+	default:
+		return RandomConfig{}, false
+	}
+	cfg.Seed = seed
+	return cfg, true
+}
+
+// PresetNames lists the scaling presets from smallest to largest.
+func PresetNames() []string { return []string{"s", "m", "l", "xl"} }
+
 // SweepConfig derives a varied generator configuration from the seed
 // alone, so conformance sweeps cover a range of graph shapes (step
 // counts, widths of parallelism, operator mixes) without maintaining a

@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bistpath/internal/area"
 	"bistpath/internal/datapath"
@@ -87,6 +88,37 @@ type Options struct {
 	// map use the area-proportional default. The pure-area search
 	// ignores it.
 	Power map[string]int
+
+	// The remaining fields configure OptimizeStochastic only; the exact
+	// branch and bound ignores them.
+
+	// Seed seeds the stochastic search's deterministic random source.
+	// Identical (data path, Options, Seed) yields an identical Plan at
+	// any Workers value (0 = seed 1).
+	Seed int64
+	// TimeBudget caps the stochastic search's wall time (0 = none).
+	// Each generation remains a pure function of the seed, but where a
+	// wall-clock budget cuts the run off is timing-dependent, so only
+	// generation-bounded runs (TimeBudget 0 or unreached) are
+	// reproducible across machines.
+	TimeBudget time.Duration
+	// MaxGenerations caps the genetic search's generations (0 = default
+	// 250).
+	MaxGenerations int
+	// StallGenerations stops the genetic search early after this many
+	// generations without an incumbent improvement (0 = default 40;
+	// negative disables the early stop).
+	StallGenerations int
+	// Population is the genetic search's population size (0 = default,
+	// scaled with the module count).
+	Population int
+	// ExactProbeNodes bounds the node-budgeted exact probe that seeds
+	// the stochastic search: a sequential branch and bound runs first
+	// under this node budget, and if it completes, its provably optimal
+	// plan is returned directly. 0 = default 150000; negative disables
+	// the probe (pure GA+SA, used by tests that exercise the stochastic
+	// operators themselves).
+	ExactProbeNodes int
 }
 
 // Metrics reports how hard one OptimizeCtx search worked. Every field is
@@ -99,6 +131,22 @@ type Metrics struct {
 	Incumbents  int64 // incumbent improvements taken
 	Embeddings  int64 // candidate embeddings enumerated across modules
 	Workers     int   // effective worker count after clamping
+
+	// Stochastic-search effort (OptimizeStochastic only; all zero for
+	// the exact branch and bound). Every field is deterministic for a
+	// generation-bounded run.
+	Generations int64        // genetic-search generations executed
+	Evaluations int64        // candidate cost evaluations (GA + annealing)
+	Curve       []CurvePoint // best-so-far cost after each improvement
+}
+
+// CurvePoint is one improvement of the stochastic search's incumbent:
+// the best cost known after the given generation. Generation 0 is the
+// seeded initial population; annealing improvements report the final
+// generation.
+type CurvePoint struct {
+	Generation int64
+	Cost       int
 }
 
 // DefaultOptions returns the standard configuration for the given width.
@@ -131,6 +179,116 @@ func packBound(cost, branch int) int64 { return int64(cost)<<32 | int64(branch) 
 
 func unpackBound(p int64) (cost, branch int) { return int(p >> 32), int(p & 0xffffffff) }
 
+// searchSpace is the prepared per-call search state shared by the exact
+// branch and bound and the stochastic search: modules ordered
+// most-constrained first, each module's embeddings cost-sorted, registers
+// interned to small ids and the compact refs built, with the style
+// upgrade costs pre-resolved from the area model so duty counters
+// translate to cost without a Model call per touch. Everything here is a
+// pure function of the data path and options, never of construction
+// order — both searches' determinism contracts depend on that.
+type searchSpace struct {
+	mods     []modEmb
+	refs     [][]embRef // compact embeddings, parallel to mods
+	nregs    int        // interned register count
+	embTotal int64      // candidate embeddings across modules
+
+	exTPG, exSA, exBILBO, exCB int
+}
+
+// prepareSpace enumerates, orders and interns the embedding search space
+// into sc. One prepared space serves one search at a time (it aliases
+// the scratch's storage).
+func prepareSpace(dp *datapath.Datapath, opts Options, sc *Scratch) (searchSpace, error) {
+	sp := searchSpace{
+		exTPG:   opts.Model.StyleExtra(area.TPG),
+		exSA:    opts.Model.StyleExtra(area.SA),
+		exBILBO: opts.Model.StyleExtra(area.BILBO),
+		exCB:    opts.Model.StyleExtra(area.CBILBO),
+	}
+	// Enumerate embeddings into the scratch's per-position slices.
+	for len(sc.embStore) < len(dp.Modules) {
+		sc.embStore = append(sc.embStore, nil)
+	}
+	mods := sc.mods[:0]
+	for i, m := range dp.Modules {
+		embs := AppendEmbeddings(sc.embStore[i][:0], dp, m.Name, opts.AllowPadHeads)
+		sc.embStore[i] = embs
+		if len(embs) == 0 {
+			return sp, fmt.Errorf("bist: module %s has %w (no register I-paths)", m.Name, ErrNoEmbedding)
+		}
+		sp.embTotal += int64(len(embs))
+		mods = append(mods, modEmb{m.Name, embs})
+	}
+	sc.mods = mods
+	// Most-constrained modules first makes pruning effective. (len, name)
+	// is a total order, so a stable insertion sort equals sort.Slice here.
+	for i := 1; i < len(mods); i++ {
+		m := mods[i]
+		j := i - 1
+		for j >= 0 && (len(m.embs) < len(mods[j].embs) ||
+			(len(m.embs) == len(mods[j].embs) && m.name < mods[j].name)) {
+			mods[j+1] = mods[j]
+			j--
+		}
+		mods[j+1] = m
+	}
+
+	// Pre-sort each module's embeddings once by standalone upgrade cost
+	// (cheap embeddings first makes the first complete solution strong).
+	// Embeddings enumerate in canonical order and the insertion sort is
+	// stable among equal costs, so the search order — and therefore the
+	// deterministic tie-break — is a pure function of the data path.
+	for _, m := range mods {
+		costs := sc.costs
+		if cap(costs) < len(m.embs) {
+			costs = make([]int, len(m.embs))
+			sc.costs = costs
+		}
+		costs = costs[:len(m.embs)]
+		for j, e := range m.embs {
+			costs[j] = standaloneCost(opts.Model, e)
+		}
+		for i := 1; i < len(costs); i++ {
+			c, e := costs[i], m.embs[i]
+			j := i - 1
+			for j >= 0 && costs[j] > c {
+				costs[j+1], m.embs[j+1] = costs[j], m.embs[j]
+				j--
+			}
+			costs[j+1], m.embs[j+1] = c, e
+		}
+	}
+
+	// Intern the registers and build the compact search refs.
+	sc.resetIntern()
+	for len(sc.refStore) < len(mods) {
+		sc.refStore = append(sc.refStore, nil)
+	}
+	refs := sc.refStore[:len(mods)]
+	for i, m := range mods {
+		rr := refs[i][:0]
+		for _, e := range m.embs {
+			rr = append(rr, embRef{sc.internReg(e.HeadL), sc.internReg(e.HeadR), sc.internReg(e.Tail)})
+		}
+		refs[i] = rr
+	}
+	sp.mods = mods
+	sp.refs = refs
+	sp.nregs = len(sc.regNames)
+	return sp, nil
+}
+
+// embeddingsOf materializes a genome (one embedding index per module
+// position) as the embedding map a Plan carries.
+func (sp *searchSpace) embeddingsOf(genome []int32) map[string]Embedding {
+	out := make(map[string]Embedding, len(sp.mods))
+	for i, m := range sp.mods {
+		out[m.name] = m.embs[genome[i]]
+	}
+	return out
+}
+
 // search holds the state shared by all branch-and-bound workers. The only
 // mutable shared fields are atomics; every worker keeps its own arena with
 // duty counters, partial assignment and incumbent so no search state needs
@@ -144,9 +302,6 @@ type search struct {
 	nodes     atomic.Int64 // nodes expanded, across all workers
 	inexact   atomic.Bool  // node budget exhausted somewhere
 	cancelled atomic.Bool  // ctx.Done observed somewhere
-	// Style upgrade costs, pre-resolved from the area model so the duty
-	// counters translate to cost without a Model call per touch.
-	exTPG, exSA, exBILBO, exCB int
 }
 
 // solution is a worker-local incumbent. branch is the index of the
@@ -161,40 +316,45 @@ type solution struct {
 	branch   int
 }
 
-// worker explores whole first-level subtrees. Each subtree is owned by
-// exactly one worker, so its incumbent update below is single-threaded.
-type worker struct {
-	sh     *search
-	a      *searchArena
-	cost   int
-	branch int
-	best   solution
-	// Effort counters stay worker-local (plain increments on the search
-	// hot path, no shared-cache traffic) and are summed after the join.
-	prunes     int64
-	incumbents int64
+// dutyEval tracks the upgrade cost of a partial embedding assignment
+// incrementally over an arena's interned duty counters: applying or
+// undoing one embedding touches three int32 counters and folds the cost
+// delta into cost. It is the one cost evaluator both searches share —
+// the branch-and-bound workers embed it, and the stochastic search's
+// genome evaluations, greedy seeding and annealing moves all run
+// through the same apply/undo pair, so a cost bug cannot hide in a
+// search-specific reimplementation.
+type dutyEval struct {
+	a    *searchArena
+	cost int
+	// Style upgrade costs, pre-resolved from the area model.
+	exTPG, exSA, exBILBO, exCB int
+}
+
+func newDutyEval(sp *searchSpace, a *searchArena) dutyEval {
+	return dutyEval{a: a, exTPG: sp.exTPG, exSA: sp.exSA, exBILBO: sp.exBILBO, exCB: sp.exCB}
 }
 
 // styleExtra returns the upgrade cost of register r under its current
 // duty counters (the counter form of roles.style).
-func (w *worker) styleExtra(r int32) int {
+func (w *dutyEval) styleExtra(r int32) int {
 	a := w.a
 	switch {
 	case a.cb[r] > 0:
-		return w.sh.exCB
+		return w.exCB
 	case a.tpg[r] > 0 && a.sa[r] > 0:
-		return w.sh.exBILBO
+		return w.exBILBO
 	case a.tpg[r] > 0:
-		return w.sh.exTPG
+		return w.exTPG
 	case a.sa[r] > 0:
-		return w.sh.exSA
+		return w.exSA
 	}
 	return 0
 }
 
 // bumpHead adds d to head register h's TPG duty (and CBILBO duty when it
 // is also the tail t), folding the register's cost change into w.cost.
-func (w *worker) bumpHead(h, t, d int32) {
+func (w *dutyEval) bumpHead(h, t, d int32) {
 	before := w.styleExtra(h)
 	w.a.tpg[h] += d
 	if h == t {
@@ -203,7 +363,7 @@ func (w *worker) bumpHead(h, t, d int32) {
 	w.cost += w.styleExtra(h) - before
 }
 
-func (w *worker) apply(e embRef) {
+func (w *dutyEval) apply(e embRef) {
 	if e.l >= 0 {
 		w.bumpHead(e.l, e.t, 1)
 	}
@@ -215,7 +375,7 @@ func (w *worker) apply(e embRef) {
 	w.cost += w.styleExtra(e.t) - before
 }
 
-func (w *worker) undo(e embRef) {
+func (w *dutyEval) undo(e embRef) {
 	if e.l >= 0 {
 		w.bumpHead(e.l, e.t, -1)
 	}
@@ -225,6 +385,84 @@ func (w *worker) undo(e embRef) {
 	before := w.styleExtra(e.t)
 	w.a.sa[e.t]--
 	w.cost += w.styleExtra(e.t) - before
+}
+
+// evalGenome returns the total cost of a complete assignment: it applies
+// every chosen embedding, reads the cost and undoes them again, leaving
+// the evaluator zeroed for the next call.
+func (w *dutyEval) evalGenome(refs [][]embRef, genome []int32) int {
+	for i, g := range genome {
+		w.apply(refs[i][g])
+	}
+	c := w.cost
+	for i, g := range genome {
+		w.undo(refs[i][g])
+	}
+	return c
+}
+
+// greedyAssignment fills genome with the greedy-with-one-improvement-pass
+// embedding choice and returns its cost: each module in search order
+// takes the embedding minimizing the cost of the partial assignment so
+// far, then one sweep retries every module against the complete
+// assignment. ev must arrive zeroed; it is left holding the chosen
+// assignment's duties (callers recycling the arena should undo or zero
+// it). Deterministic: pure function of the prepared space.
+func greedyAssignment(sp *searchSpace, ev *dutyEval, genome []int32) int {
+	for i := range sp.mods {
+		bi, bc := 0, -1
+		for j, e := range sp.refs[i] {
+			ev.apply(e)
+			if bc < 0 || ev.cost < bc {
+				bi, bc = j, ev.cost
+			}
+			ev.undo(e)
+		}
+		genome[i] = int32(bi)
+		ev.apply(sp.refs[i][bi])
+	}
+	// One improvement sweep over the complete assignment.
+	for i := range sp.mods {
+		cur := genome[i]
+		ev.undo(sp.refs[i][cur])
+		base := ev.cost
+		bi, bc := cur, ev.styleDelta(sp.refs[i][cur])
+		for j, e := range sp.refs[i] {
+			if int32(j) == cur {
+				continue
+			}
+			ev.apply(e)
+			if ev.cost-base < bc {
+				bi, bc = int32(j), ev.cost-base
+			}
+			ev.undo(e)
+		}
+		genome[i] = bi
+		ev.apply(sp.refs[i][bi])
+	}
+	return ev.cost
+}
+
+// styleDelta returns the cost delta applying e would add right now.
+func (w *dutyEval) styleDelta(e embRef) int {
+	before := w.cost
+	w.apply(e)
+	d := w.cost - before
+	w.undo(e)
+	return d
+}
+
+// worker explores whole first-level subtrees. Each subtree is owned by
+// exactly one worker, so its incumbent update below is single-threaded.
+type worker struct {
+	dutyEval
+	sh     *search
+	branch int
+	best   solution
+	// Effort counters stay worker-local (plain increments on the search
+	// hot path, no shared-cache traffic) and are summed after the join.
+	prunes     int64
+	incumbents int64
 }
 
 // curEmbeddings materializes the worker's current assignment as the
@@ -383,92 +621,23 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	if sc == nil {
 		sc = new(Scratch)
 	}
-	// Enumerate embeddings into the scratch's per-position slices.
-	for len(sc.embStore) < len(dp.Modules) {
-		sc.embStore = append(sc.embStore, nil)
+	sp, err := prepareSpace(dp, opts, sc)
+	if err != nil {
+		return nil, err
 	}
-	mods := sc.mods[:0]
-	var embTotal int64
-	for i, m := range dp.Modules {
-		embs := AppendEmbeddings(sc.embStore[i][:0], dp, m.Name, opts.AllowPadHeads)
-		sc.embStore[i] = embs
-		if len(embs) == 0 {
-			return nil, fmt.Errorf("bist: module %s has %w (no register I-paths)", m.Name, ErrNoEmbedding)
-		}
-		embTotal += int64(len(embs))
-		mods = append(mods, modEmb{m.Name, embs})
-	}
-	sc.mods = mods
-	// Most-constrained modules first makes pruning effective. (len, name)
-	// is a total order, so a stable insertion sort equals sort.Slice here.
-	for i := 1; i < len(mods); i++ {
-		m := mods[i]
-		j := i - 1
-		for j >= 0 && (len(m.embs) < len(mods[j].embs) ||
-			(len(m.embs) == len(mods[j].embs) && m.name < mods[j].name)) {
-			mods[j+1] = mods[j]
-			j--
-		}
-		mods[j+1] = m
-	}
-
-	// Pre-sort each module's embeddings once by standalone upgrade cost
-	// (cheap embeddings first makes the first complete solution strong).
-	// Embeddings enumerate in canonical order and the insertion sort is
-	// stable among equal costs, so the search order — and therefore the
-	// deterministic tie-break — is a pure function of the data path.
-	for _, m := range mods {
-		costs := sc.costs
-		if cap(costs) < len(m.embs) {
-			costs = make([]int, len(m.embs))
-			sc.costs = costs
-		}
-		costs = costs[:len(m.embs)]
-		for j, e := range m.embs {
-			costs[j] = standaloneCost(opts.Model, e)
-		}
-		for i := 1; i < len(costs); i++ {
-			c, e := costs[i], m.embs[i]
-			j := i - 1
-			for j >= 0 && costs[j] > c {
-				costs[j+1], m.embs[j+1] = costs[j], m.embs[j]
-				j--
-			}
-			costs[j+1], m.embs[j+1] = c, e
-		}
-	}
-
-	// Intern the registers and build the compact search refs.
-	sc.resetIntern()
-	for len(sc.refStore) < len(mods) {
-		sc.refStore = append(sc.refStore, nil)
-	}
-	refs := sc.refStore[:len(mods)]
-	for i, m := range mods {
-		rr := refs[i][:0]
-		for _, e := range m.embs {
-			rr = append(rr, embRef{sc.internReg(e.HeadL), sc.internReg(e.HeadR), sc.internReg(e.Tail)})
-		}
-		refs[i] = rr
-	}
+	mods := sp.mods
 
 	best := make(map[string]Embedding, len(mods))
 	bestCost := -1
 	exact := true
 
 	if opts.Metrics != nil {
-		*opts.Metrics = Metrics{Embeddings: embTotal, Workers: 1}
+		*opts.Metrics = Metrics{Embeddings: sp.embTotal, Workers: 1}
 	}
 	if len(mods) == 0 {
 		bestCost = 0
 	} else {
-		sh := &search{
-			ctx: ctx, opts: opts, mods: mods, refs: refs,
-			exTPG:   opts.Model.StyleExtra(area.TPG),
-			exSA:    opts.Model.StyleExtra(area.SA),
-			exBILBO: opts.Model.StyleExtra(area.BILBO),
-			exCB:    opts.Model.StyleExtra(area.CBILBO),
-		}
+		sh := &search{ctx: ctx, opts: opts, mods: mods, refs: sp.refs}
 		sh.bound.Store(noBound)
 
 		nw := opts.Workers
@@ -478,11 +647,10 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		if nw > len(mods[0].embs) {
 			nw = len(mods[0].embs)
 		}
-		nregs := len(sc.regNames)
 		newWorker := func() *worker {
 			a := sc.getArena()
-			a.size(nregs, len(mods))
-			return &worker{sh: sh, a: a}
+			a.size(sp.nregs, len(mods))
+			return &worker{sh: sh, dutyEval: newDutyEval(&sp, a)}
 		}
 		var next atomic.Int64
 		locals := make([]*worker, nw)
@@ -542,34 +710,14 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 		// Greedy fallback (also used when the budget ran out before any
 		// complete solution, which cannot happen with the default budget
 		// but is handled for safety).
-		greedy := make(map[string]Embedding, len(mods))
-		for _, m := range mods {
-			bi, bc := 0, -1
-			for idx, e := range m.embs {
-				greedy[m.name] = e
-				c := extraArea(opts.Model, stylesOf(greedy))
-				if bc < 0 || c < bc {
-					bi, bc = idx, c
-				}
-			}
-			greedy[m.name] = m.embs[bi]
-		}
-		// One improvement sweep.
-		for _, m := range mods {
-			bc := extraArea(opts.Model, stylesOf(greedy))
-			for _, e := range m.embs {
-				old := greedy[m.name]
-				greedy[m.name] = e
-				if c := extraArea(opts.Model, stylesOf(greedy)); c < bc {
-					bc = c
-				} else {
-					greedy[m.name] = old
-				}
-			}
-		}
-		gc := extraArea(opts.Model, stylesOf(greedy))
+		a := sc.getArena()
+		a.size(sp.nregs, len(mods))
+		ev := newDutyEval(&sp, a)
+		genome := make([]int32, len(mods))
+		gc := greedyAssignment(&sp, &ev, genome)
+		sc.putArena(a)
 		if bestCost < 0 || gc < bestCost {
-			best = greedy
+			best = sp.embeddingsOf(genome)
 			bestCost = gc
 		}
 	}

@@ -200,13 +200,19 @@ func planFingerprint(p *bist.Plan) string {
 func ParallelMatch(ctx context.Context, dp *datapath.Datapath, opts Options, plan *bist.Plan) ([]string, error) {
 	var vs []string
 	base := planFingerprint(plan)
+	search := opts.Search
+	if search == nil {
+		search = func(ctx context.Context, dp *datapath.Datapath, workers int) (*bist.Plan, error) {
+			return bist.OptimizeCtx(ctx, dp, bist.Options{
+				Model:            opts.Model,
+				AllowPadHeads:    opts.AllowPadTPG,
+				MinimizeSessions: opts.MinimizeSessions,
+				Workers:          workers,
+			})
+		}
+	}
 	for _, w := range opts.Workers {
-		p, err := bist.OptimizeCtx(ctx, dp, bist.Options{
-			Model:            opts.Model,
-			AllowPadHeads:    opts.AllowPadTPG,
-			MinimizeSessions: opts.MinimizeSessions,
-			Workers:          w,
-		})
+		p, err := search(ctx, dp, w)
 		if err != nil {
 			if ctx.Err() != nil {
 				return vs, ctx.Err()

@@ -92,8 +92,15 @@ type statsJSON struct {
 	IncumbentUpdates     int64 `json:"incumbent_updates"`
 	EmbeddingsEnumerated int64 `json:"embeddings_enumerated"`
 	SearchWorkers        int   `json:"search_workers"`
-	Lemma2Checks         int64 `json:"lemma2_checks"`
-	CaseOverrides        int64 `json:"case_overrides"`
+	// Stochastic-search fields, present only when Config.Search departs
+	// from the default SearchExact (additive, so exact-run documents stay
+	// byte-identical across releases).
+	SearchStrategy string             `json:"search_strategy,omitempty"` // "exact" | "stochastic"
+	Generations    int64              `json:"generations,omitempty"`
+	Evaluations    int64              `json:"evaluations,omitempty"`
+	BestCurve      []SearchCurvePoint `json:"best_curve,omitempty"`
+	Lemma2Checks   int64              `json:"lemma2_checks"`
+	CaseOverrides  int64              `json:"case_overrides"`
 }
 
 // statsToJSON converts Stats to its wire form. The cache-view fields
@@ -113,6 +120,10 @@ func statsToJSON(s Stats) statsJSON {
 		IncumbentUpdates:     s.IncumbentUpdates,
 		EmbeddingsEnumerated: s.EmbeddingsEnumerated,
 		SearchWorkers:        s.SearchWorkers,
+		SearchStrategy:       s.SearchStrategy,
+		Generations:          s.Generations,
+		Evaluations:          s.Evaluations,
+		BestCurve:            s.BestCurve,
 		Lemma2Checks:         s.Lemma2Checks,
 		CaseOverrides:        s.CaseOverrides,
 	}
@@ -133,6 +144,10 @@ func statsFromJSON(j statsJSON) Stats {
 		IncumbentUpdates:     j.IncumbentUpdates,
 		EmbeddingsEnumerated: j.EmbeddingsEnumerated,
 		SearchWorkers:        j.SearchWorkers,
+		SearchStrategy:       j.SearchStrategy,
+		Generations:          j.Generations,
+		Evaluations:          j.Evaluations,
+		BestCurve:            j.BestCurve,
 		Lemma2Checks:         j.Lemma2Checks,
 		CaseOverrides:        j.CaseOverrides,
 	}

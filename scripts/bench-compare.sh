@@ -13,10 +13,12 @@
 # floor never fails, so a one-alloc wobble on a 5-alloc benchmark does
 # not read as a 20% regression.
 #
-# Benchmarks present in only one of the two files do not fail the
-# comparison; they are reported per benchmark and recapped in explicit
-# "ADDED"/"REMOVED" summary lines so a renamed or dropped benchmark is
-# visible in the last lines of CI output.
+# Benchmarks present in only one of the two files are reported per
+# benchmark and recapped in explicit "ADDED"/"REMOVED" summary lines.
+# A REMOVED benchmark additionally warns on stderr — a benchmark
+# vanishing from latest.txt is usually a broken build tag or an
+# accidental rename, not an intended drop — and fails the comparison
+# when BENCH_FAIL_ON_REMOVED is set to a non-zero value (CI sets it).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +28,7 @@ LATEST=benchmarks/latest.txt
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 MAX_ALLOC_PCT="${BENCH_MAX_ALLOC_REGRESSION_PCT:-5}"
 ALLOC_FLOOR="${BENCH_ALLOC_ABS_FLOOR:-8}"
+FAIL_ON_REMOVED="${BENCH_FAIL_ON_REMOVED:-0}"
 
 if [ ! -f "$BASELINE" ]; then
     echo "no $BASELINE - nothing to compare (run scripts/bench-update.sh to create one)"
@@ -36,7 +39,8 @@ if [ ! -f "$LATEST" ]; then
     exit 1
 fi
 
-awk -v max_pct="$MAX_PCT" -v max_alloc_pct="$MAX_ALLOC_PCT" -v alloc_floor="$ALLOC_FLOOR" '
+awk -v max_pct="$MAX_PCT" -v max_alloc_pct="$MAX_ALLOC_PCT" -v alloc_floor="$ALLOC_FLOOR" \
+    -v fail_removed="$FAIL_ON_REMOVED" '
     # Benchmark result lines look like:
     #   BenchmarkSynthesizeAll/workers=4-8   123   456789 ns/op   2048 B/op   35 allocs/op
     /^Benchmark/ && / ns\/op/ {
@@ -108,7 +112,18 @@ awk -v max_pct="$MAX_PCT" -v max_alloc_pct="$MAX_ALLOC_PCT" -v alloc_floor="$ALL
             }
         }
         if (added)   printf "\nADDED: %d benchmark(s) present only in latest (no baseline to compare)\n", added
-        if (removed) printf "%sREMOVED: %d benchmark(s) present only in baseline (dropped or renamed in latest)\n", added ? "" : "\n", removed
+        if (removed) {
+            printf "%sREMOVED: %d benchmark(s) present only in baseline (dropped or renamed in latest)\n", added ? "" : "\n", removed
+            printf "WARNING: %d benchmark(s) vanished from latest.txt:\n", removed > "/dev/stderr"
+            for (name in base_ns)
+                if (!(name in lat_ns))
+                    printf "  %s\n", name > "/dev/stderr"
+            printf "  (intended? update the baseline with scripts/bench-update.sh)\n" > "/dev/stderr"
+            if (fail_removed != "0" && fail_removed != "") {
+                printf "\nFAIL: removed benchmark(s) with BENCH_FAIL_ON_REMOVED=%s\n", fail_removed
+                exit 1
+            }
+        }
         if (fail) {
             printf "\nFAIL: regression beyond %s%% ns/op or %s%% allocs/op, B/op\n", max_pct, max_alloc_pct
             exit 1

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Run the exact-vs-stochastic scaling suite and write the comparison to
+# benchmarks/BENCH_scaling.json, schema-checked by scripts/jsoncheck.
+#
+#   scripts/bench-scaling.sh          full grid (all presets, 2 seeds each)
+#   scripts/bench-scaling.sh -quick   CI grid (presets s/m/l, 1 seed)
+#
+# The underlying tool (scripts/scalingbench) enforces two quality gates
+# and exits non-zero on violation: stochastic must recover the known
+# optimum on every paper benchmark, and must stay within its overhead
+# bound of the exact run on every preset instance. The JSON document is
+# written either way so CI can upload it as an artifact.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=benchmarks/BENCH_scaling.json
+mkdir -p benchmarks
+
+ARGS=""
+for arg in "$@"; do
+    case "$arg" in
+        -quick) ARGS="-quick" ;;
+        *) echo "usage: $0 [-quick]" >&2; exit 2 ;;
+    esac
+done
+
+status=0
+go run ./scripts/scalingbench $ARGS > "$OUT" || status=$?
+
+go run ./scripts/jsoncheck -kind scaling < "$OUT"
+echo "wrote $OUT"
+exit $status

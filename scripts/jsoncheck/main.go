@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	kind := flag.String("kind", "synth", "document schema to enforce: synth (Result.JSON) or verify (VerifyReport)")
+	kind := flag.String("kind", "synth", "document schema to enforce: synth (Result.JSON), verify (VerifyReport) or scaling (scalingbench)")
 	flag.Parse()
 
 	data, err := io.ReadAll(os.Stdin)
@@ -42,8 +42,10 @@ func main() {
 		checkSynth(docs)
 	case "verify":
 		checkVerify(docs)
+	case "scaling":
+		checkScaling(docs)
 	default:
-		fatal("unknown -kind %q (want synth or verify)", *kind)
+		fatal("unknown -kind %q (want synth, verify or scaling)", *kind)
 	}
 	fmt.Printf("jsoncheck: %d %s document(s) ok\n", len(docs), *kind)
 }
@@ -85,6 +87,55 @@ func checkVerify(docs []map[string]any) {
 		if v, _ := doc["vectors"].(float64); v <= 0 {
 			fatal("report %d (%v): vectors = %v, want > 0", i, doc["design"], doc["vectors"])
 		}
+	}
+}
+
+func checkScaling(docs []map[string]any) {
+	if len(docs) != 1 {
+		fatal("scaling: expected a single document, got %d", len(docs))
+	}
+	doc := docs[0]
+	for _, key := range []string{"schema", "kind", "quick", "bound", "rows"} {
+		if _, ok := doc[key]; !ok {
+			fatal("scaling: missing key %q", key)
+		}
+	}
+	if k, _ := doc["kind"].(string); k != "scaling" {
+		fatal("scaling: kind = %v, want \"scaling\"", doc["kind"])
+	}
+	if b, _ := doc["bound"].(float64); b < 1 {
+		fatal("scaling: bound = %v, want >= 1", doc["bound"])
+	}
+	rows, ok := doc["rows"].([]any)
+	if !ok || len(rows) == 0 {
+		fatal("scaling: rows missing or empty")
+	}
+	required := []string{"name", "design", "seed", "ops", "modules", "registers",
+		"exact_area", "exact_ms", "exact_provable", "stoch_area", "stoch_ms",
+		"generations", "evaluations", "ratio"}
+	papers := 0
+	for i, rv := range rows {
+		r, ok := rv.(map[string]any)
+		if !ok {
+			fatal("scaling: row %d is not an object", i)
+		}
+		for _, key := range required {
+			if _, ok := r[key]; !ok {
+				fatal("scaling: row %d (%v): missing key %q", i, r["name"], key)
+			}
+		}
+		if v, _ := r["exact_area"].(float64); v <= 0 {
+			fatal("scaling: row %d (%v): exact_area = %v, want > 0", i, r["name"], r["exact_area"])
+		}
+		if v, _ := r["stoch_area"].(float64); v <= 0 {
+			fatal("scaling: row %d (%v): stoch_area = %v, want > 0", i, r["name"], r["stoch_area"])
+		}
+		if d, _ := r["design"].(string); d == "paper" {
+			papers++
+		}
+	}
+	if papers != 5 {
+		fatal("scaling: %d paper benchmark rows, want 5", papers)
 	}
 }
 

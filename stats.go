@@ -70,6 +70,15 @@ type Stats struct {
 	EmbeddingsEnumerated int64 // candidate embeddings across all modules
 	SearchWorkers        int   // effective worker count after clamping
 
+	// Stochastic-search effort (Config.Search only; all zero/empty under
+	// the default SearchExact, so existing Results are unchanged).
+	// SearchStrategy records what the configured strategy resolved to —
+	// "exact" or "stochastic" — and stays empty for a SearchExact config.
+	SearchStrategy string
+	Generations    int64              // genetic-search generations executed
+	Evaluations    int64              // candidate cost evaluations (GA + annealing)
+	BestCurve      []SearchCurvePoint // best-so-far cost after each incumbent improvement
+
 	// Register binder effort (zero in traditional mode).
 	Lemma2Checks  int64 // trial Lemma-2 evaluations during coloring
 	CaseOverrides int64 // Case 1/2 diversions that changed the choice
@@ -87,6 +96,14 @@ type Stats struct {
 	CacheBytes     int64 // in-memory bytes held after this run
 }
 
+// SearchCurvePoint is one incumbent improvement of the stochastic
+// search: the best cost known after the given generation (generation 0
+// is the seeded initial population).
+type SearchCurvePoint struct {
+	Generation int64 `json:"generation"`
+	Cost       int   `json:"cost"`
+}
+
 // PhaseSum returns the sum of the per-phase wall times. It is at most
 // Total (result assembly is not attributed to any phase).
 func (s Stats) PhaseSum() time.Duration {
@@ -101,6 +118,10 @@ func (s Stats) String() string {
 		s.Total, s.Validate, s.RegisterBind, s.Interconnect, s.Datapath, s.BISTSearch)
 	fmt.Fprintf(&sb, "    search: %d nodes, %d prunes, %d incumbents, %d embeddings, %d worker(s)\n",
 		s.SearchNodes, s.BoundPrunes, s.IncumbentUpdates, s.EmbeddingsEnumerated, s.SearchWorkers)
+	if s.SearchStrategy != "" {
+		fmt.Fprintf(&sb, "    strategy: %s; %d generations, %d evaluations, %d curve points\n",
+			s.SearchStrategy, s.Generations, s.Evaluations, len(s.BestCurve))
+	}
 	fmt.Fprintf(&sb, "    binder: %d Lemma-2 checks, %d case overrides\n",
 		s.Lemma2Checks, s.CaseOverrides)
 	if s.CacheHit || s.CacheHits+s.CacheMisses > 0 {

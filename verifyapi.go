@@ -8,6 +8,7 @@ import (
 	"bistpath/internal/area"
 	"bistpath/internal/benchdata"
 	"bistpath/internal/bist"
+	"bistpath/internal/datapath"
 	"bistpath/internal/verify"
 )
 
@@ -99,6 +100,29 @@ func (r *Result) Verify(ctx context.Context, opts VerifyOptions) (*VerifyReport,
 	}
 	if vo.Workers == nil && !vo.SkipOracles {
 		vo.Workers = []int{1, 2, 8}
+	}
+	if r.Stats.SearchStrategy == "stochastic" {
+		if r.cfg.TimeBudget > 0 {
+			// A wall-clock-truncated run is not reproducible, so the
+			// parallel-match oracle has nothing to conform against.
+			vo.Workers = nil
+		} else {
+			// Conformance must re-run the strategy that produced the plan:
+			// the stochastic search with this result's seed and budgets,
+			// which is deterministic at any worker count.
+			cfg := r.cfg
+			model := vo.Model
+			vo.Search = func(ctx context.Context, dp *datapath.Datapath, workers int) (*bist.Plan, error) {
+				return bist.OptimizeStochasticCtx(ctx, dp, bist.Options{
+					Model:            model,
+					AllowPadHeads:    cfg.AllowPadTPG,
+					MinimizeSessions: cfg.MinimizeSessions,
+					Workers:          workers,
+					Seed:             cfg.Seed,
+					MaxGenerations:   cfg.MaxGenerations,
+				})
+			}
+		}
 	}
 	rep, err := verify.Run(ctx, r.dp.Graph(), r.mb, r.dp, r.plan, vo)
 	if rep == nil {
