@@ -374,23 +374,63 @@ func resultFootprint(r *Result) int64 {
 // contributes a name-sorted inventory with sorted op lists, so the
 // explicit map and the automatic binder hit the same entry whenever
 // they resolve identically.
-func cacheKey(g *dfg.Graph, mb *modassign.Binding, cfg Config) cache.Key {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "bistpath-cache-key v%d schema%d\n", cacheKeyVersion, ResultSchemaVersion)
-	fmt.Fprintf(&sb, "width %d\n", cfg.Width)
-	fmt.Fprintf(&sb, "mode %s\n", cfg.Mode)
-	fmt.Fprintf(&sb, "allowpadtpg %t\nminimizesessions %t\ntrace %t\n",
-		cfg.AllowPadTPG, cfg.MinimizeSessions, cfg.Trace)
-	fmt.Fprintf(&sb, "sharing %t\ncaseoverrides %t\navoidcbilbo %t\nweightedinterconnect %t\n",
-		cfg.Sharing, cfg.CaseOverrides, cfg.AvoidCBILBO, cfg.WeightedInterconnect)
+// Section names of the canonical fingerprint, in stream order. The
+// sectioning is the contract the incremental Session layer diffs
+// against: each name groups the semantic inputs that, when changed,
+// invalidate a known prefix of the pipeline (see DESIGN.md §11).
+const (
+	keySectionHeader    = "header"
+	keySectionConfig    = "config"
+	keySectionObjective = "objective"
+	keySectionSearch    = "search"
+	keySectionModules   = "modules"
+	keySectionPorts     = "ports"
+	keySectionDFG       = "dfg"
+)
+
+// keySection is one named segment of the canonical cache fingerprint.
+type keySection struct {
+	name    string
+	payload string
+}
+
+// keySections itemizes the canonical fingerprint into named sections.
+// Concatenating the payloads in stream order reproduces, byte for
+// byte, the exact pre-image cacheKey has always hashed (pinned by
+// TestCacheKeyPinned), so refactoring the key into sections costs no
+// cache invalidation. Sections that contribute nothing to the stream
+// (objective at MinArea, search at SearchExact) carry empty payloads
+// rather than being omitted, so a diff between two configs always
+// compares like-named sections positionally.
+func keySections(g *dfg.Graph, mb *modassign.Binding, cfg Config) []keySection {
+	out := make([]keySection, 0, 7)
+	section := func(name string, fill func(sb *strings.Builder)) {
+		var sb strings.Builder
+		fill(&sb)
+		out = append(out, keySection{name: name, payload: sb.String()})
+	}
+	section(keySectionHeader, func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "bistpath-cache-key v%d schema%d\n", cacheKeyVersion, ResultSchemaVersion)
+	})
+	section(keySectionConfig, func(sb *strings.Builder) {
+		fmt.Fprintf(sb, "width %d\n", cfg.Width)
+		fmt.Fprintf(sb, "mode %s\n", cfg.Mode)
+		fmt.Fprintf(sb, "allowpadtpg %t\nminimizesessions %t\ntrace %t\n",
+			cfg.AllowPadTPG, cfg.MinimizeSessions, cfg.Trace)
+		fmt.Fprintf(sb, "sharing %t\ncaseoverrides %t\navoidcbilbo %t\nweightedinterconnect %t\n",
+			cfg.Sharing, cfg.CaseOverrides, cfg.AvoidCBILBO, cfg.WeightedInterconnect)
+	})
 	// Multi-objective configuration joins the key only when it departs
 	// from the default MinArea objective, so every key computed for an
 	// area-only config is bit-identical to earlier releases — and a
 	// weighted run can never be served a cached pure-area result.
 	// (MinArea ignores Weights and Power entirely, so they are correctly
 	// absent from its keys.)
-	if cfg.Objective != MinArea {
-		fmt.Fprintf(&sb, "objective %s\nweights %d %d %d\n",
+	section(keySectionObjective, func(sb *strings.Builder) {
+		if cfg.Objective == MinArea {
+			return
+		}
+		fmt.Fprintf(sb, "objective %s\nweights %d %d %d\n",
 			cfg.Objective, cfg.Weights.Area, cfg.Weights.TestTime, cfg.Weights.PeakPower)
 		if len(cfg.Power) > 0 {
 			names := make([]string, 0, len(cfg.Power))
@@ -400,47 +440,72 @@ func cacheKey(g *dfg.Graph, mb *modassign.Binding, cfg Config) cache.Key {
 			sort.Strings(names)
 			sb.WriteString("power")
 			for _, n := range names {
-				fmt.Fprintf(&sb, " %s=%d", n, cfg.Power[n])
+				fmt.Fprintf(sb, " %s=%d", n, cfg.Power[n])
 			}
 			sb.WriteByte('\n')
 		}
-	}
+	})
 	// The search strategy joins the key the same way: only when it
 	// departs from the default SearchExact, keeping every exact-config
 	// key bit-identical to earlier releases. Seed and the budgets are
 	// semantic for a stochastic run — different seeds legitimately cache
 	// different plans. (TimeBudget-truncated runs never reach cacheKey;
 	// synthesize routes them around the cache entirely.)
-	if cfg.Search != SearchExact {
-		fmt.Fprintf(&sb, "search %s\nseed %d\ngenerations %d\nbudget %d\n",
+	section(keySectionSearch, func(sb *strings.Builder) {
+		if cfg.Search == SearchExact {
+			return
+		}
+		fmt.Fprintf(sb, "search %s\nseed %d\ngenerations %d\nbudget %d\n",
 			cfg.Search, cfg.Seed, cfg.MaxGenerations, int64(cfg.TimeBudget))
-	}
-
-	sb.WriteString("modules\n")
-	mods := append([]*modassign.Module(nil), mb.Modules...)
-	sort.Slice(mods, func(i, j int) bool { return mods[i].Name < mods[j].Name })
-	for _, m := range mods {
-		kinds := make([]string, len(m.Class.Kinds))
-		for i, k := range m.Class.Kinds {
-			kinds[i] = string(k)
+	})
+	section(keySectionModules, func(sb *strings.Builder) {
+		sb.WriteString("modules\n")
+		mods := append([]*modassign.Module(nil), mb.Modules...)
+		sort.Slice(mods, func(i, j int) bool { return mods[i].Name < mods[j].Name })
+		for _, m := range mods {
+			kinds := make([]string, len(m.Class.Kinds))
+			for i, k := range m.Class.Kinds {
+				kinds[i] = string(k)
+			}
+			ops := append([]string(nil), m.Ops...)
+			sort.Strings(ops)
+			fmt.Fprintf(sb, "%s %s [%s] %s\n", m.Name, m.Class.Name,
+				strings.Join(kinds, ""), strings.Join(ops, " "))
 		}
-		ops := append([]string(nil), m.Ops...)
-		sort.Strings(ops)
-		fmt.Fprintf(&sb, "%s %s [%s] %s\n", m.Name, m.Class.Name,
-			strings.Join(kinds, ""), strings.Join(ops, " "))
-	}
+	})
+	section(keySectionPorts, func(sb *strings.Builder) {
+		var ports []string
+		for _, v := range g.Vars() {
+			if v.IsPort {
+				ports = append(ports, v.Name)
+			}
+		}
+		sort.Strings(ports)
+		fmt.Fprintf(sb, "ports %s\n", strings.Join(ports, " "))
+	})
+	section(keySectionDFG, func(sb *strings.Builder) {
+		sb.WriteString("dfg\n")
+		sb.WriteString(g.Text())
+	})
+	return out
+}
 
-	var ports []string
-	for _, v := range g.Vars() {
-		if v.IsPort {
-			ports = append(ports, v.Name)
+// sectionPayload returns the payload of the named section ("" when the
+// section contributed nothing to the stream).
+func sectionPayload(secs []keySection, name string) string {
+	for _, s := range secs {
+		if s.name == name {
+			return s.payload
 		}
 	}
-	sort.Strings(ports)
-	fmt.Fprintf(&sb, "ports %s\n", strings.Join(ports, " "))
+	return ""
+}
 
-	sb.WriteString("dfg\n")
-	sb.WriteString(g.Text())
+func cacheKey(g *dfg.Graph, mb *modassign.Binding, cfg Config) cache.Key {
+	var sb strings.Builder
+	for _, s := range keySections(g, mb, cfg) {
+		sb.WriteString(s.payload)
+	}
 	return cache.Key(sha256.Sum256([]byte(sb.String())))
 }
 

@@ -8,18 +8,25 @@
 //
 //	bistpathd [-addr :8157] [-j N] [-cache] [-cache-dir DIR]
 //	          [-body-limit N] [-timeout D] [-drain-timeout D]
+//	          [-max-jobs-per-client N]
 //
 // Endpoints:
 //
 //	POST   /v1/jobs             submit {"benchmark":"ex1"} or {"dfg":"...","modules":{...},"config":{...}}
 //	GET    /v1/jobs             list retained jobs
 //	GET    /v1/jobs/{id}        poll status (+ result document once done)
+//	PATCH  /v1/jobs/{id}        incremental re-synthesis: {"edits":[{"kind":"set_step","op":"mul2","step":5},...]}
+//	                            derives a new job from a completed one, reusing unchanged phases
 //	GET    /v1/jobs/{id}/result completed Result.JSON(), byte-identical to the CLI
 //	GET    /v1/jobs/{id}/events SSE stream of phase/progress events
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/benchmarks       built-in design names
 //	GET    /metrics             expvar counters (bistpath.* and bistpathd.*)
 //	GET    /healthz             readiness (503 while draining)
+//
+// With -max-jobs-per-client N, each client (X-Client-ID header, falling
+// back to the remote host) may have at most N jobs in flight; beyond
+// that POST and PATCH answer 429 with a Retry-After header.
 //
 // On SIGTERM or SIGINT the daemon drains: new submissions answer 503,
 // in-flight jobs finish (or are cancelled at -drain-timeout), SSE
@@ -52,13 +59,15 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultTimeout, "per-request timeout for non-streaming endpoints")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight jobs before cancelling them")
 	heartbeat := flag.Duration("sse-heartbeat", server.DefaultHeartbeat, "SSE keepalive comment interval")
+	maxPerClient := flag.Int("max-jobs-per-client", 0, "max in-flight jobs per client; beyond it POST/PATCH answer 429 (0 = unlimited)")
 	flag.Parse()
 
 	if err := run(*addr, server.Options{
-		Workers:   *workers,
-		MaxBody:   *bodyLimit,
-		Timeout:   *timeout,
-		Heartbeat: *heartbeat,
+		Workers:          *workers,
+		MaxBody:          *bodyLimit,
+		Timeout:          *timeout,
+		Heartbeat:        *heartbeat,
+		MaxJobsPerClient: *maxPerClient,
 	}, *cacheFlag, *cacheDir, *cacheBytes, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "bistpathd:", err)
 		os.Exit(1)

@@ -1,0 +1,65 @@
+package bistpath
+
+import "fmt"
+
+// DeltaKind identifies which Session mutator produced a Delta.
+type DeltaKind int
+
+// The Session edit kinds.
+const (
+	// DeltaSetStep reschedules one operation to a new control step.
+	DeltaSetStep DeltaKind = iota
+	// DeltaReplaceOp swaps one operation's operator kind in place,
+	// keeping its operands, result and schedule.
+	DeltaReplaceOp
+	// DeltaRemapModule moves one operation to a different functional
+	// module in the session's explicit op→module map.
+	DeltaRemapModule
+	// DeltaRetimePort toggles the port-fed mark of a primary input
+	// (port-fed inputs are wired to module ports and never
+	// register-allocated).
+	DeltaRetimePort
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaSetStep:
+		return "set-step"
+	case DeltaReplaceOp:
+		return "replace-op"
+	case DeltaRemapModule:
+		return "remap-module"
+	case DeltaRetimePort:
+		return "retime-port"
+	}
+	return fmt.Sprintf("delta(%d)", int(k))
+}
+
+// Delta is one recorded Session edit: the typed description of a single
+// mutator call, in the order applied. Session.Deltas returns the edits
+// still pending (applied to the session's graph but not yet folded into
+// a Resynthesize); a successful Resynthesize consumes them.
+type Delta struct {
+	Kind DeltaKind // which mutator
+
+	Op     string // SetStep, ReplaceOp, RemapModule: the operation edited
+	Var    string // RetimePort: the variable edited
+	OpKind string // ReplaceOp: the new operator kind
+	Module string // RemapModule: the new module name
+	Step   int    // SetStep: the new control step
+	Port   bool   // RetimePort: the new port-fed mark
+}
+
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaSetStep:
+		return fmt.Sprintf("set-step %s @%d", d.Op, d.Step)
+	case DeltaReplaceOp:
+		return fmt.Sprintf("replace-op %s %s", d.Op, d.OpKind)
+	case DeltaRemapModule:
+		return fmt.Sprintf("remap-module %s -> %s", d.Op, d.Module)
+	case DeltaRetimePort:
+		return fmt.Sprintf("retime-port %s %t", d.Var, d.Port)
+	}
+	return d.Kind.String()
+}

@@ -35,6 +35,10 @@ var (
 	// fails; a Cache constructed without a Dir cannot return this.
 	ErrCacheDir = errors.New("bistpath: cache directory unavailable")
 
+	// ErrSessionClosed is returned by every mutator and Resynthesize call
+	// on a Session whose Close has been called.
+	ErrSessionClosed = errors.New("bistpath: session closed")
+
 	// ErrBadObjective is returned by synthesis (in the validate phase)
 	// for a malformed multi-objective configuration: an unknown
 	// Config.Objective value, negative Weights or negative Power

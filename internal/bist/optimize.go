@@ -11,6 +11,7 @@ import (
 
 	"bistpath/internal/area"
 	"bistpath/internal/datapath"
+	"bistpath/internal/interconnect"
 )
 
 // ErrNoEmbedding is returned (wrapped with the module name) when some
@@ -88,6 +89,19 @@ type Options struct {
 	// map use the area-proportional default. The pure-area search
 	// ignores it.
 	Power map[string]int
+	// Incumbent, when non-nil, warm-starts the exact branch and bound
+	// with a known-feasible plan (incremental re-synthesis hands over
+	// the surviving plan of the previous run). Its cost — recomputed
+	// against Model from the embeddings, never trusted from the stale
+	// plan — seeds the shared bound before the first node, so subtrees
+	// that cannot beat it are pruned immediately. The returned Plan is
+	// identical to a cold search's: the bound is seeded with a sentinel
+	// branch index that keeps every equal-cost canonical tie-break
+	// reachable, so only the effort metrics (Nodes, BoundPrunes) shrink.
+	// An incumbent that fails Plan.Validate against the data path, or
+	// that uses a pad head while AllowPadHeads is false, is silently
+	// ignored. The stochastic search ignores this field entirely.
+	Incumbent *Plan
 
 	// The remaining fields configure OptimizeStochastic only; the exact
 	// branch and bound ignores them.
@@ -639,6 +653,12 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	} else {
 		sh := &search{ctx: ctx, opts: opts, mods: mods, refs: sp.refs}
 		sh.bound.Store(noBound)
+		if cost, ok := incumbentBound(dp, opts); ok {
+			// The sentinel branch index keeps the equal-cost canonical
+			// tie-break prunes exactly as permissive as a cold search's,
+			// so the warm start cannot change the winning plan.
+			sh.bound.Store(packBound(cost, math.MaxInt32))
+		}
 
 		nw := opts.Workers
 		if nw < 1 {
@@ -730,6 +750,26 @@ func OptimizeCtx(ctx context.Context, dp *datapath.Datapath, opts Options) (*Pla
 	}
 	plan.Sessions = ScheduleSessions(plan)
 	return plan, plan.Validate(dp)
+}
+
+// incumbentBound validates opts.Incumbent against the data path and
+// returns its extra-area cost recomputed from the embeddings under
+// opts.Model. ok is false when there is no usable incumbent: the field
+// is nil, the plan fails Validate (stale embeddings from an edited
+// design), or it rides a pad head the current options forbid.
+func incumbentBound(dp *datapath.Datapath, opts Options) (cost int, ok bool) {
+	inc := opts.Incumbent
+	if inc == nil || inc.Validate(dp) != nil {
+		return 0, false
+	}
+	if !opts.AllowPadHeads {
+		for _, e := range inc.Embeddings {
+			if interconnect.IsPad(e.HeadL) || (e.HeadR != "" && interconnect.IsPad(e.HeadR)) {
+				return 0, false
+			}
+		}
+	}
+	return extraArea(opts.Model, stylesOf(inc.Embeddings)), true
 }
 
 // PlanFromEmbeddings reconstructs the complete Plan implied by a chosen

@@ -132,10 +132,17 @@ func Build(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *inter
 	dp.InPads = sortedKeys(pads)
 	dp.Outputs = g.Outputs()
 	// Control program.
+	dp.Steps = buildSteps(g, mb, rb, ib, lts)
+	return dp, dp.Validate()
+}
+
+// buildSteps derives the control program — the one part of the netlist
+// that depends on the schedule — from the graph and bindings.
+func buildSteps(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *interconnect.Binding, lts map[string]dfg.Lifetime) []Step {
 	n := g.NumSteps()
-	dp.Steps = make([]Step, n+1)
+	steps := make([]Step, n+1)
 	for s := 0; s <= n; s++ {
-		dp.Steps[s].N = s
+		steps[s].N = s
 	}
 	for _, op := range g.Ops() {
 		l, r := ib.OperandSources(g, rb, op)
@@ -149,26 +156,54 @@ func Build(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *inter
 		if op.Binary() {
 			mo.RightSrc = r
 		}
-		dp.Steps[op.Step].Ops = append(dp.Steps[op.Step].Ops, mo)
+		steps[op.Step].Ops = append(steps[op.Step].Ops, mo)
 	}
 	for _, v := range g.Vars() {
 		if !v.IsInput || v.IsPort {
 			continue
 		}
 		born := lts[v.Name].Born
-		dp.Steps[born].Loads = append(dp.Steps[born].Loads, Load{
+		steps[born].Loads = append(steps[born].Loads, Load{
 			Reg: rb.RegisterOf(v.Name),
 			Pad: interconnect.PadSource + v.Name,
 			Var: v.Name,
 		})
 	}
-	for s := range dp.Steps {
-		ops := dp.Steps[s].Ops
+	for s := range steps {
+		ops := steps[s].Ops
 		sort.Slice(ops, func(i, j int) bool { return ops[i].Op < ops[j].Op })
-		lds := dp.Steps[s].Loads
+		lds := steps[s].Loads
 		sort.Slice(lds, func(i, j int) bool { return lds[i].Var < lds[j].Var })
 	}
-	return dp, dp.Validate()
+	return steps
+}
+
+// WithSchedule returns a copy of dp re-targeted at g: the same netlist
+// (registers, modules and pads are shared, not copied) with only the
+// control program rebuilt from g's schedule. It is the incremental
+// re-synthesis layer's datapath phase for edits that change nothing but
+// control steps: the caller must guarantee g is structurally identical
+// to the graph dp was built from — same operations, operand wiring,
+// port marks and bindings — which the Session proves by fingerprint
+// before taking this path.
+func (dp *Datapath) WithSchedule(g *dfg.Graph, mb *modassign.Binding, rb *regassign.Binding, ib *interconnect.Binding) (*Datapath, error) {
+	lts, err := g.Lifetimes()
+	if err != nil {
+		return nil, err
+	}
+	ndp := &Datapath{
+		Name:    dp.Name,
+		Width:   dp.Width,
+		Regs:    dp.Regs,
+		Modules: dp.Modules,
+		InPads:  dp.InPads,
+		Outputs: dp.Outputs,
+		Steps:   buildSteps(g, mb, rb, ib, lts),
+		graph:   g,
+		regIx:   dp.regIx,
+		modIx:   dp.modIx,
+	}
+	return ndp, ndp.Validate()
 }
 
 // Validate performs structural checks on the netlist and control program.

@@ -21,6 +21,16 @@ func EnumerateMinimumBindings(g *dfg.Graph, limit int) ([][][]string, bool, erro
 	if err != nil {
 		return nil, false, err
 	}
+	return EnumerateBindings(g, min, limit)
+}
+
+// EnumerateBindings enumerates every register binding that uses exactly
+// k registers, as canonical set partitions. It generalizes
+// EnumerateMinimumBindings so oracles can grade non-minimal bindings —
+// e.g. an incremental warm-start that lands on a k-register plan — by
+// enumerating the optimum over the same register count rather than
+// declining. k below the chromatic number simply yields no partitions.
+func EnumerateBindings(g *dfg.Graph, k, limit int) ([][][]string, bool, error) {
 	conf, err := g.Conflicts()
 	if err != nil {
 		return nil, false, err
@@ -28,15 +38,15 @@ func EnumerateMinimumBindings(g *dfg.Graph, limit int) ([][][]string, bool, erro
 	vars := g.AllocVars()
 	var out [][][]string
 	complete := true
-	classes := make([][]string, 0, min)
+	classes := make([][]string, 0, k)
 
 	var rec func(i int) bool // returns false to abort (limit hit)
 	rec = func(i int) bool {
 		if i == len(vars) {
-			if len(classes) == min {
+			if len(classes) == k {
 				snap := make([][]string, len(classes))
-				for k, c := range classes {
-					snap[k] = append([]string(nil), c...)
+				for ci, c := range classes {
+					snap[ci] = append([]string(nil), c...)
 				}
 				out = append(out, snap)
 				if limit > 0 && len(out) >= limit {
@@ -47,7 +57,7 @@ func EnumerateMinimumBindings(g *dfg.Graph, limit int) ([][][]string, bool, erro
 		}
 		v := vars[i]
 		// Prune: remaining variables cannot open enough new classes.
-		if len(classes)+(len(vars)-i) < min {
+		if len(classes)+(len(vars)-i) < k {
 			return true
 		}
 		for ci := range classes {
@@ -68,7 +78,7 @@ func EnumerateMinimumBindings(g *dfg.Graph, limit int) ([][][]string, bool, erro
 			}
 			classes[ci] = classes[ci][:len(classes[ci])-1]
 		}
-		if len(classes) < min {
+		if len(classes) < k {
 			classes = append(classes, []string{v})
 			if !rec(i + 1) {
 				classes = classes[:len(classes)-1]

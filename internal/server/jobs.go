@@ -34,12 +34,22 @@ func (s Status) Terminal() bool {
 // jobJSON; result holds the exact Result.JSON() bytes so GET
 // /v1/jobs/{id}/result can serve them unmodified.
 type job struct {
-	id      string
-	design  string
-	created time.Time
-	hub     *hub
-	cancel  context.CancelFunc
-	done    chan struct{}
+	id        string
+	design    string
+	clientKey string // quota accounting key; "" for direct manager use
+	root      string // lineage root job id; "" unless derived via PATCH
+	created   time.Time
+	hub       *hub
+	cancel    context.CancelFunc
+	done      chan struct{}
+
+	// The resolved submission, retained so PATCH can seed an incremental
+	// session from it; ref is the session lineage this job belongs to
+	// (created lazily on the first PATCH, shared with every derived job).
+	d    *bistpath.DFG
+	mods map[string]string
+	cfg  bistpath.Config
+	ref  *sessionRef
 
 	mu       sync.Mutex
 	status   Status
@@ -49,13 +59,24 @@ type job struct {
 	cacheHit bool
 }
 
+// rootID names the job's session lineage: the originally POSTed job.
+func (j *job) rootID() string {
+	if j.root != "" {
+		return j.root
+	}
+	return j.id
+}
+
 // jobJSON is the wire form of a job's status. Result is the raw
 // Result.JSON() document (done jobs only, and only where the handler
 // asks for it).
 type jobJSON struct {
-	ID       string          `json:"id"`
-	Design   string          `json:"design"`
-	Status   Status          `json:"status"`
+	ID     string `json:"id"`
+	Design string `json:"design"`
+	Status Status `json:"status"`
+	// Root names the originally POSTed job of this session lineage; set
+	// only on jobs derived via PATCH /v1/jobs/{id}.
+	Root     string          `json:"root,omitempty"`
 	CacheHit bool            `json:"cache_hit,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Phase    string          `json:"phase,omitempty"`
@@ -70,6 +91,7 @@ func (j *job) view(includeResult bool) jobJSON {
 		ID:       j.id,
 		Design:   j.design,
 		Status:   j.status,
+		Root:     j.root,
 		CacheHit: j.cacheHit,
 		Error:    j.errMsg,
 		Phase:    j.errPhase,
@@ -100,13 +122,55 @@ type manager struct {
 
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // insertion order, for eviction of old terminal jobs
+	order    []string       // insertion order, for eviction of old terminal jobs
+	clients  map[string]int // non-terminal jobs per client key (quota accounting)
 	draining bool
 	wg       sync.WaitGroup
 }
 
 func newManager(s *Server) *manager {
-	return &manager{srv: s, jobs: make(map[string]*job)}
+	return &manager{srv: s, jobs: make(map[string]*job), clients: make(map[string]int)}
+}
+
+// admitLocked performs the shared admission step under m.mu: refuse
+// while draining, enforce the per-client quota, then register the job
+// and account it to its client. The caller publishes the queued event
+// and starts the job goroutine after unlocking.
+func (m *manager) admitLocked(j *job, client string) error {
+	if m.draining {
+		return &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+	}
+	if max := m.srv.opts.MaxJobsPerClient; max > 0 && client != "" && m.clients[client] >= max {
+		expJobsQuotaRejected.Add(1)
+		return &apiError{
+			status:     http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("client has %d jobs in flight (limit %d); retry when one concludes", m.clients[client], max),
+			retryAfter: 1,
+		}
+	}
+	j.id = newID("j")
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	if client != "" {
+		m.clients[client]++
+	}
+	m.wg.Add(1)
+	return nil
+}
+
+// releaseClient returns one quota slot when a job goes terminal.
+func (m *manager) releaseClient(key string) {
+	if key == "" {
+		return
+	}
+	m.mu.Lock()
+	if m.clients[key] > 1 {
+		m.clients[key]--
+	} else {
+		delete(m.clients, key)
+	}
+	m.mu.Unlock()
 }
 
 // submitRequest is the POST /v1/jobs body. Exactly one of Benchmark and
@@ -203,7 +267,7 @@ func validationError(msg string) error {
 // submit admits one job: synchronous validation, registration, queued
 // event, then a goroutine that carries it to a terminal state. During a
 // drain, submissions are refused with 503.
-func (m *manager) submit(req submitRequest) (*job, error) {
+func (m *manager) submit(req submitRequest, client string) (*job, error) {
 	d, mods, cfg, err := req.resolve()
 	if err != nil {
 		return nil, err
@@ -211,25 +275,24 @@ func (m *manager) submit(req submitRequest) (*job, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		design:  d.Name(),
-		created: time.Now(),
-		hub:     newHub(),
-		cancel:  cancel,
-		done:    make(chan struct{}),
-		status:  StatusQueued,
+		design:    d.Name(),
+		clientKey: client,
+		created:   time.Now(),
+		hub:       newHub(),
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    StatusQueued,
+		d:         d,
+		mods:      mods,
+		cfg:       cfg,
 	}
 
 	m.mu.Lock()
-	if m.draining {
+	if err := m.admitLocked(j, client); err != nil {
 		m.mu.Unlock()
 		cancel()
-		return nil, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"}
+		return nil, err
 	}
-	j.id = newID("j")
-	m.jobs[j.id] = j
-	m.order = append(m.order, j.id)
-	m.evictLocked()
-	m.wg.Add(1)
 	m.mu.Unlock()
 
 	expJobsSubmitted.Add(1)
@@ -301,6 +364,7 @@ func (m *manager) finish(j *job, br bistpath.BatchResult) {
 	status, cacheHit, errMsg, errPhase := j.status, j.cacheHit, j.errMsg, j.errPhase
 	j.mu.Unlock()
 	close(j.done)
+	m.releaseClient(j.clientKey)
 
 	switch status {
 	case StatusDone:

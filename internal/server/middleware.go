@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -17,6 +18,10 @@ type apiError struct {
 	status int
 	msg    string
 	phase  string
+	// retryAfter, when > 0, is sent as a Retry-After header (seconds) —
+	// the per-client quota uses it to tell well-behaved clients when to
+	// come back.
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -44,6 +49,9 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	ae, ok := err.(*apiError)
 	if !ok {
 		ae = &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	if ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
 	}
 	writeJSON(w, ae.status, errorJSON{
 		Error:     ae.msg,

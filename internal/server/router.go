@@ -24,6 +24,7 @@ func (s *Server) buildHandler() http.Handler {
 	api.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	api.HandleFunc("GET /v1/jobs", s.handleList)
 	api.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	api.HandleFunc("PATCH /v1/jobs/{id}", s.handlePatch)
 	api.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	api.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	api.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
@@ -46,20 +47,29 @@ type submitResponse struct {
 	Links map[string]string `json:"links"`
 }
 
+// readBody drains the (already limit-wrapped) request body, converting
+// the limiter's error into the 413 apiError.
+func readBody(r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: "request body too large"}
+		}
+		return nil, &apiError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	return body, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeError(w, r, &apiError{status: http.StatusServiceUnavailable, msg: "server is draining"})
 		return
 	}
-	body, err := io.ReadAll(r.Body)
+	body, err := readBody(r)
 	if err != nil {
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			writeError(w, r, &apiError{status: http.StatusRequestEntityTooLarge,
-				msg: "request body too large"})
-			return
-		}
-		writeError(w, r, &apiError{status: http.StatusBadRequest, msg: err.Error()})
+		writeError(w, r, err)
 		return
 	}
 	var req submitRequest
@@ -67,7 +77,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, &apiError{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()})
 		return
 	}
-	j, err := s.jobs.submit(req)
+	j, err := s.jobs.submit(req, clientKey(r))
 	if err != nil {
 		writeError(w, r, err)
 		return

@@ -60,6 +60,12 @@ type Options struct {
 	// Heartbeat is the SSE keepalive comment interval (0 =
 	// DefaultHeartbeat). Tests shorten it.
 	Heartbeat time.Duration
+	// MaxJobsPerClient, when > 0, bounds how many non-terminal jobs one
+	// client (X-Client-ID header, falling back to the remote host) may
+	// have in flight across POST /v1/jobs and PATCH /v1/jobs/{id}.
+	// Submissions beyond the bound answer 429 with a Retry-After header.
+	// 0 disables the quota.
+	MaxJobsPerClient int
 }
 
 // Server is the bistpathd service core: a job manager over the shared
@@ -69,6 +75,7 @@ type Server struct {
 	opts     Options
 	pool     *bistpath.Pool
 	cache    *bistpath.Cache
+	synth    *bistpath.Synthesizer // hosts the PATCH route's incremental sessions
 	jobs     *manager
 	handler  http.Handler
 	draining atomic.Bool
@@ -98,6 +105,7 @@ func New(opts Options) *Server {
 		opts:  opts,
 		pool:  bistpath.NewPool(opts.Workers),
 		cache: opts.Cache,
+		synth: bistpath.New(bistpath.DefaultConfig()),
 	}
 	s.jobs = newManager(s)
 	s.handler = s.buildHandler()
@@ -114,12 +122,14 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // set; both are served by GET /metrics. sse_subscribers is a gauge,
 // everything else only grows.
 var (
-	expJobsSubmitted  = expvar.NewInt("bistpathd.jobs_submitted")
-	expJobsDone       = expvar.NewInt("bistpathd.jobs_done")
-	expJobsFailed     = expvar.NewInt("bistpathd.jobs_failed")
-	expJobsCanceled   = expvar.NewInt("bistpathd.jobs_canceled")
-	expJobsEvicted    = expvar.NewInt("bistpathd.jobs_evicted")
-	expHandlerPanics  = expvar.NewInt("bistpathd.handler_panics")
-	expSSESubscribers = expvar.NewInt("bistpathd.sse_subscribers")
-	expSSEDropped     = expvar.NewInt("bistpathd.sse_dropped_events")
+	expJobsSubmitted     = expvar.NewInt("bistpathd.jobs_submitted")
+	expJobsPatched       = expvar.NewInt("bistpathd.jobs_patched")
+	expJobsQuotaRejected = expvar.NewInt("bistpathd.jobs_quota_rejected")
+	expJobsDone          = expvar.NewInt("bistpathd.jobs_done")
+	expJobsFailed        = expvar.NewInt("bistpathd.jobs_failed")
+	expJobsCanceled      = expvar.NewInt("bistpathd.jobs_canceled")
+	expJobsEvicted       = expvar.NewInt("bistpathd.jobs_evicted")
+	expHandlerPanics     = expvar.NewInt("bistpathd.handler_panics")
+	expSSESubscribers    = expvar.NewInt("bistpathd.sse_subscribers")
+	expSSEDropped        = expvar.NewInt("bistpathd.sse_dropped_events")
 )

@@ -229,32 +229,36 @@ func ParallelMatch(ctx context.Context, dp *datapath.Datapath, opts Options, pla
 
 // BindingOracleResult reports the exhaustive register-binding sweep.
 type BindingOracleResult struct {
-	Ran      bool // false when the plan's binding is not minimum-register or enumeration failed
-	Bindings int  // minimum-register bindings enumerated
-	Feasible int  // bindings that survived the full downstream pipeline
-	Best     int  // lowest plan cost over feasible bindings
-	Worst    int  // highest plan cost over feasible bindings
-	Complete bool // enumeration covered the whole space
+	Ran       bool // false when enumeration failed
+	Registers int  // register count the space was enumerated at
+	Bindings  int  // same-register-count bindings enumerated
+	Feasible  int  // bindings that survived the full downstream pipeline
+	Best      int  // lowest plan cost over feasible bindings
+	Worst     int  // highest plan cost over feasible bindings
+	Complete  bool // enumeration covered the whole space
 }
 
-// BindingOracle enumerates every register binding with the minimum
-// register count, pushes each through the interconnect, netlist and
-// BIST pipeline, and reports the best and worst achievable plan cost.
-// A heuristic binding with the same register count must land inside
-// this range; beating Best would prove the cost model inconsistent.
-// The oracle declines (Ran=false) when dp does not use the minimum
-// register count, since the enumerated space would then not contain
-// the plan's binding.
+// BindingOracle enumerates every register binding with the same
+// register count as the data path under test (the minimum count when
+// dp is nil), pushes each through the interconnect, netlist and BIST
+// pipeline, and reports the best and worst achievable plan cost. A
+// heuristic binding is always graded against its own register count,
+// so non-minimal bindings — e.g. an incremental warm-start landing on
+// a k-register plan — are graded against the enumerated k-register
+// optimum instead of being declined. The plan under test must land
+// inside the reported range; beating Best would prove the cost model
+// inconsistent.
 func BindingOracle(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, dp *datapath.Datapath, opts Options) (BindingOracleResult, error) {
 	var res BindingOracleResult
-	min, err := g.MinRegisters()
+	k, err := g.MinRegisters()
 	if err != nil {
 		return res, nil
 	}
-	if dp != nil && len(dp.Regs) != min {
-		return res, nil
+	if dp != nil {
+		k = len(dp.Regs)
 	}
-	parts, complete, err := regassign.EnumerateMinimumBindings(g, opts.BindingLimit)
+	res.Registers = k
+	parts, complete, err := regassign.EnumerateBindings(g, k, opts.BindingLimit)
 	if err != nil {
 		return res, nil
 	}

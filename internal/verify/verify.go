@@ -144,12 +144,13 @@ type Report struct {
 	WorkersChecked []int `json:"workers_checked,omitempty"`
 
 	// Register-binding oracle.
-	BindingRan      bool `json:"binding_oracle_ran"`
-	BindingCount    int  `json:"binding_count"`
-	BindingFeasible int  `json:"binding_feasible"`
-	BindingBest     int  `json:"binding_best"`
-	BindingWorst    int  `json:"binding_worst"`
-	BindingComplete bool `json:"binding_complete"`
+	BindingRan       bool `json:"binding_oracle_ran"`
+	BindingRegisters int  `json:"binding_registers,omitempty"`
+	BindingCount     int  `json:"binding_count"`
+	BindingFeasible  int  `json:"binding_feasible"`
+	BindingBest      int  `json:"binding_best"`
+	BindingWorst     int  `json:"binding_worst"`
+	BindingComplete  bool `json:"binding_complete"`
 }
 
 // OK reports whether every executed check passed.
@@ -194,8 +195,8 @@ func (r *Report) Summary() string {
 		if !r.BindingComplete {
 			complete = ", enumeration truncated"
 		}
-		fmt.Fprintf(&sb, "  binding oracle: %d/%d min-register bindings feasible; best %d <= plan %d <= worst %d%s\n",
-			r.BindingFeasible, r.BindingCount, r.BindingBest, r.PlanCost, r.BindingWorst, complete)
+		fmt.Fprintf(&sb, "  binding oracle: %d/%d %d-register bindings feasible; best %d <= plan %d <= worst %d%s\n",
+			r.BindingFeasible, r.BindingCount, r.BindingRegisters, r.BindingBest, r.PlanCost, r.BindingWorst, complete)
 	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(&sb, "  VIOLATION: %s\n", v)
@@ -268,13 +269,14 @@ func Run(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, dp *datapath.
 		}
 		if bo.Ran {
 			rep.BindingRan = true
+			rep.BindingRegisters = bo.Registers
 			rep.BindingCount = bo.Bindings
 			rep.BindingFeasible = bo.Feasible
 			rep.BindingBest = bo.Best
 			rep.BindingWorst = bo.Worst
 			rep.BindingComplete = bo.Complete
-			// The plan's binding used the minimum register count (the
-			// oracle only runs in that case), so its cost must lie in
+			// The oracle enumerated every binding with the plan's own
+			// register count (minimal or not), so its cost must lie in
 			// the enumerated range; beating the complete optimum means
 			// a broken cost computation somewhere.
 			if bo.Complete && bo.Feasible > 0 {

@@ -1,0 +1,133 @@
+package bistpath
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+)
+
+// benchEditSession opens a session on ex1 (the Table II running
+// example) primed with one cold run, ready for the alternating
+// single-step edit: mul2 moves between steps 4 and 5, which preserves
+// every lifetime overlap and the data-path structure, so the bind and
+// search phases are reusable — the best case the incremental API is
+// built for, and the one the CI gate measures.
+func benchEditSession(tb testing.TB, s *Synthesizer) *Session {
+	tb.Helper()
+	d, mods, err := Benchmark("ex1")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ss, err := s.NewSession(d, mods)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := ss.Resynthesize(context.Background()); err != nil {
+		tb.Fatal(err)
+	}
+	return ss
+}
+
+// BenchmarkResynthesizeSmallEdit measures the incremental path against
+// the from-scratch path on the same alternating single-step edit. The
+// warm/cold ns/op ratio is the speedup the incremental CI gate asserts.
+func BenchmarkResynthesizeSmallEdit(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		s := New(DefaultConfig())
+		defer s.Close()
+		d, mods, err := Benchmark("ex1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d = &DFG{g: d.g.Clone()} // never mutate the shared benchmark graph
+		if _, err := s.Synthesize(context.Background(), d, mods); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.g.Op("mul2").Step = 4 + (i+1)%2
+			if _, err := s.Synthesize(context.Background(), d, mods); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := New(DefaultConfig())
+		defer s.Close()
+		ss := benchEditSession(b, s)
+		defer ss.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ss.SetStep("mul2", 4+(i+1)%2); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ss.Resynthesize(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestIncrementalSpeedupGate is the CI gate on the tentpole's headline
+// number: on the alternating single-step edit, Session.Resynthesize
+// must beat from-scratch synthesis by at least 3x. Wall-clock ratios
+// are too noisy for the ordinary test run, so the gate only arms when
+// CI's incremental step sets BISTPATH_INCR_GATE=1.
+func TestIncrementalSpeedupGate(t *testing.T) {
+	if os.Getenv("BISTPATH_INCR_GATE") == "" {
+		t.Skip("set BISTPATH_INCR_GATE=1 to run the incremental speedup gate")
+	}
+	const iters = 200
+
+	s := New(DefaultConfig())
+	defer s.Close()
+
+	// From-scratch side: the same alternating edit, full pipeline.
+	d, mods, err := Benchmark("ex1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = &DFG{g: d.g.Clone()}
+	for i := 0; i < 20; i++ { // warm the scratch arenas
+		if _, err := s.Synthesize(context.Background(), d, mods); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		d.g.Op("mul2").Step = 4 + (i+1)%2
+		if _, err := s.Synthesize(context.Background(), d, mods); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold := time.Since(start)
+
+	ss := benchEditSession(t, s)
+	defer ss.Close()
+	var reused []string
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := ss.SetStep("mul2", 4+(i+1)%2); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ss.Resynthesize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused = res.Stats.ReusedPhases
+	}
+	warm := time.Since(start)
+
+	if !hasPhase(Stats{ReusedPhases: reused}, PhaseRegisterBind) ||
+		!hasPhase(Stats{ReusedPhases: reused}, PhaseBISTSearch) {
+		t.Fatalf("gate edit did not reuse the expensive phases: %v", reused)
+	}
+	speedup := float64(cold) / float64(warm)
+	t.Logf("cold %v, warm %v over %d edits: %.2fx", cold, warm, iters, speedup)
+	if speedup < 3 {
+		t.Errorf("incremental speedup %.2fx < required 3x (cold %v, warm %v)", speedup, cold, warm)
+	}
+}

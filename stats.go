@@ -94,6 +94,14 @@ type Stats struct {
 	CacheMisses    int64 // cache misses (full syntheses) so far
 	CacheEvictions int64 // in-memory entries evicted so far
 	CacheBytes     int64 // in-memory bytes held after this run
+
+	// Incremental re-synthesis view, filled only on Session.Resynthesize
+	// results. Excluded from Result.JSON() for the same reason as the
+	// cache view: an incremental run's JSON is byte-identical (stats
+	// normalized) to the cold run's, which live reuse accounting could
+	// never be.
+	ReusedPhases       []string // phases reused from the previous run, pipeline order
+	IncrementalSpeedup float64  // previous cold Total / this run's Total (0 until phases reuse)
 }
 
 // SearchCurvePoint is one incumbent improvement of the stochastic
@@ -131,6 +139,13 @@ func (s Stats) String() string {
 		}
 		fmt.Fprintf(&sb, "    cache: %s; %d hits, %d misses, %d evictions, %d bytes\n",
 			served, s.CacheHits, s.CacheMisses, s.CacheEvictions, s.CacheBytes)
+	}
+	if len(s.ReusedPhases) > 0 {
+		fmt.Fprintf(&sb, "    incremental: reused %s", strings.Join(s.ReusedPhases, ", "))
+		if s.IncrementalSpeedup > 0 {
+			fmt.Fprintf(&sb, " (%.1fx vs cold)", s.IncrementalSpeedup)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

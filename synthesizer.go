@@ -268,6 +268,17 @@ func (s *Synthesizer) synthesizeDFG(ctx context.Context, d *DFG, opToModule map[
 // the run's cancel so Close can abort it at its next context poll and
 // wait for it to unwind, and loans the run a scratch.
 func (s *Synthesizer) run(ctx context.Context, g *dfg.Graph, mb *modassign.Binding, cfg Config) (*Result, error) {
+	return s.runWith(ctx, func(ctx context.Context, sc *synthScratch) (*Result, error) {
+		return synthesize(ctx, g, mb, cfg, sc)
+	})
+}
+
+// runWith is run generalized over the pipeline invocation: the lifetime
+// bookkeeping (inflight cancel registration, scratch loan, closed-handle
+// error mapping) around an arbitrary do. Session.Resynthesize uses it to
+// call synthesizePipeline directly with its reuse/capture attachments
+// while still honoring Close.
+func (s *Synthesizer) runWith(ctx context.Context, do func(context.Context, *synthScratch) (*Result, error)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -294,7 +305,7 @@ func (s *Synthesizer) run(ctx context.Context, g *dfg.Graph, mb *modassign.Bindi
 	}()
 
 	sc := s.getScratch()
-	res, err := synthesize(ctx, g, mb, cfg, sc)
+	res, err := do(ctx, sc)
 	s.putScratch(sc)
 	if err != nil && isContextError(err) && caller.Err() == nil {
 		// The run was aborted by Close, not by the caller: report the
